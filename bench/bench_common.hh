@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches: context setup (with the
+ * shared on-disk record cache), trace-index helpers, and formatting.
+ * Every bench prints the rows/series of one paper table or figure;
+ * EXPERIMENTS.md records paper-vs-measured values.
+ */
+
+#ifndef PSCA_BENCH_COMMON_HH
+#define PSCA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+
+namespace psca {
+namespace bench {
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n================================================"
+                "====================\n%s\n"
+                "================================================"
+                "====================\n",
+                title);
+}
+
+/** Indices of all SPEC traces in the context. */
+inline std::vector<size_t>
+allTraceIndices(const ExperimentContext &ctx)
+{
+    std::vector<size_t> idx(ctx.spec.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    return idx;
+}
+
+/** Indices of one SPEC app's traces. */
+inline std::vector<size_t>
+appTraceIndices(const ExperimentContext &ctx, size_t app)
+{
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < ctx.spec.size(); ++i)
+        if (ctx.spec[i].appId == static_cast<uint32_t>(app))
+            idx.push_back(i);
+    return idx;
+}
+
+/** Indices of the SPECint or SPECfp half of the suite. */
+inline std::vector<size_t>
+suiteTraceIndices(const ExperimentContext &ctx, bool fp)
+{
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < ctx.spec.size(); ++i)
+        if (ctx.specApps[ctx.spec[i].appId].isFp == fp)
+            idx.push_back(i);
+    return idx;
+}
+
+/** Offline evaluation of one trained dual model on SPEC telemetry. */
+inline EvalResult
+offlineEval(const ExperimentContext &ctx, const ScaledModel &slot,
+            CoreMode mode, const std::vector<size_t> &columns,
+            uint64_t granularity, double p_sla)
+{
+    AssemblyOptions opts;
+    opts.granularityInstr = granularity;
+    opts.pSla = p_sla;
+    opts.telemetryMode = mode;
+    opts.columns = columns;
+    const Dataset raw =
+        assembleDataset(ctx.spec, opts, ctx.build.intervalInstr);
+    const Dataset scaled = slot.scaler.apply(raw);
+    SlaSpec sla;
+    sla.pSla = p_sla;
+    const uint64_t window = sla.windowPredictions(
+        ctx.build.core.clockGhz * 1e9 * ctx.build.core.retireWidth,
+        granularity);
+    return evaluateModel(*slot.model, scaled, window);
+}
+
+} // namespace bench
+} // namespace psca
+
+#endif // PSCA_BENCH_COMMON_HH

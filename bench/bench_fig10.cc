@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Figure 10: stepwise blindspot mitigation. Starting from the
+ * baseline 1-layer expert-counter MLP trained on SPEC2017 only, each
+ * technique is added in turn: HDTR training diversity (Sec. 6.1), PF
+ * counter selection (Sec. 6.2), and hyperparameter screening +
+ * sensitivity calibration (Sec. 6.3).
+ *
+ * Deviation from the paper: we measure RSV on held-out *HDTR*
+ * applications (10k-instruction granularity, low-power telemetry)
+ * rather than on the SPEC stand-ins, because our synthetic SPEC
+ * profiles are individually too regular to expose blindspots offline
+ * — the diverse HDTR population is where unseen-workload behaviour
+ * lives in this reproduction (see EXPERIMENTS.md).
+ */
+
+#include "bench_common.hh"
+
+#include "math/stats.hh"
+
+using namespace psca;
+using namespace psca::bench;
+
+namespace {
+
+struct Bar
+{
+    const char *label;
+    double rsv;
+};
+
+/** Evaluate a model spec on held-out HDTR apps across folds. */
+double
+foldedRsv(const Dataset &train_source,
+          const Dataset &eval_source, bool cross_corpus,
+          const std::vector<int> &topology, bool calibrate,
+          int folds, int epochs, size_t max_tune)
+{
+    std::vector<double> rsv;
+    for (int fold = 0; fold < folds; ++fold) {
+        const uint64_t seed = mixSeeds(1234, fold + 1);
+        Dataset tune_raw;
+        Dataset valid_raw;
+        if (cross_corpus) {
+            // Train on the whole training corpus; validate on a
+            // random 20%-app slice of the evaluation corpus.
+            tune_raw = train_source;
+            const FoldSplit s = appLevelSplit(eval_source, 0.8, seed);
+            valid_raw = eval_source.subset(s.validIdx);
+        } else {
+            const FoldSplit s = appLevelSplit(train_source, 0.8, seed);
+            tune_raw = train_source.subset(s.tuneIdx);
+            valid_raw = train_source.subset(s.validIdx);
+        }
+        if (max_tune && tune_raw.numSamples() > max_tune) {
+            Rng rng(seed ^ 0x777);
+            std::vector<size_t> keep(tune_raw.numSamples());
+            for (size_t i = 0; i < keep.size(); ++i)
+                keep[i] = i;
+            rng.shuffle(keep);
+            keep.resize(max_tune);
+            tune_raw = tune_raw.subset(keep);
+        }
+        const FeatureScaler scaler = FeatureScaler::fit(tune_raw);
+        const Dataset tune = scaler.apply(tune_raw);
+        const Dataset valid = scaler.apply(valid_raw);
+        MlpConfig cfg;
+        cfg.hiddenLayers = topology;
+        cfg.epochs = epochs;
+        cfg.seed = seed;
+        auto model = trainMlp(tune, cfg);
+        if (calibrate)
+            calibrateThreshold(*model, tune, 1600, 0.01);
+        rsv.push_back(evaluateModel(*model, valid, 1600).rsv);
+    }
+    return mean(rsv);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 10 -- stepwise blindspot mitigation");
+
+    const ScaleConfig scale = ScaleConfig::fromEnv();
+    ExperimentContext ctx = setupExperiment(scale, true);
+    const int epochs = scale.mlpEpochs;
+    const int folds = std::max(4, scale.folds / 2);
+
+    auto dataset = [&](const std::vector<TraceRecord> &records,
+                       const std::vector<size_t> &columns) {
+        AssemblyOptions opts;
+        opts.granularityInstr = 10000;
+        opts.telemetryMode = CoreMode::LowPower;
+        opts.columns = columns;
+        return assembleDataset(records, opts, ctx.build.intervalInstr);
+    };
+
+    const auto expert = ctx.plan.charstarColumns();
+    const auto pf12 = ctx.plan.pfColumns(12);
+    const Dataset spec_expert = dataset(ctx.spec, expert);
+    const Dataset hdtr_expert = dataset(ctx.hdtr, expert);
+    const Dataset hdtr_pf = dataset(ctx.hdtr, pf12);
+
+    const Bar bars[] = {
+        {"baseline MLP, SPEC-only training",
+         foldedRsv(spec_expert, hdtr_expert, true, {10}, false,
+                   folds, epochs, scale.maxTuneSamples)},
+        {"+ HDTR training diversity (6.1)",
+         foldedRsv(hdtr_expert, hdtr_expert, false, {10}, false,
+                   folds, epochs, scale.maxTuneSamples)},
+        {"+ PF counter selection (6.2)",
+         foldedRsv(hdtr_pf, hdtr_pf, false, {10}, false, folds,
+                   epochs, scale.maxTuneSamples)},
+        {"+ hyperparam screening + calib (6.3)",
+         foldedRsv(hdtr_pf, hdtr_pf, false, {8, 8, 4}, true,
+                   folds, epochs, scale.maxTuneSamples)},
+    };
+    const double paper[] = {16.5, 10.9, 4.3, 1.2};
+    for (size_t i = 0; i < std::size(bars); ++i) {
+        std::printf("%-40s RSV %6.2f%%   [paper: %4.1f%%]\n",
+                    bars[i].label, bars[i].rsv * 100, paper[i]);
+    }
+    std::printf("\ntotal reduction: %.2f%% -> %.2f%%   [paper: "
+                "16.5%% -> 1.2%%]\n",
+                bars[0].rsv * 100, bars[3].rsv * 100);
+    return 0;
+}

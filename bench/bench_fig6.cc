@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 6: hyperparameter screening. Cross-validate MLPs with 1-3
+ * layers and 4-32 filters per layer; report PGOS mean vs std and
+ * whether the topology fits the 50k-instruction ops budget. The
+ * "best" pick minimizes std at high mean (the paper chooses 8/8/4).
+ */
+
+#include "bench_common.hh"
+
+#include "uc/budget.hh"
+
+using namespace psca;
+using namespace psca::bench;
+
+int
+main()
+{
+    banner("Figure 6 -- MLP hyperparameter screening");
+
+    const ScaleConfig scale = ScaleConfig::fromEnv();
+    ExperimentContext ctx = setupExperiment(scale, false);
+
+    AssemblyOptions opts;
+    opts.granularityInstr = 10000;
+    opts.telemetryMode = CoreMode::LowPower;
+    opts.columns = ctx.plan.pfColumns(12);
+    const Dataset full =
+        assembleDataset(ctx.hdtr, opts, ctx.build.intervalInstr);
+
+    const UcBudget budget;
+    const uint64_t budget50k = budget.opsBudget(50000);
+
+    const std::vector<std::vector<int>> topologies = {
+        {4},        {8},        {16},        {32},
+        {8, 4},     {16, 8},    {32, 16},
+        {8, 8, 4},  {16, 8, 4}, {16, 16, 8}, {32, 32, 16},
+    };
+
+    std::printf("%-14s %8s %10s %-12s %-12s %-8s\n", "topology",
+                "layers", "ops/pred", "PGOS mean", "PGOS std",
+                "<=50k?");
+    for (const auto &topo : topologies) {
+        CrossValOptions cv;
+        cv.folds = scale.folds;
+        cv.maxTuneSamples = scale.maxTuneSamples;
+        cv.rsvWindow = 1600;
+        cv.seed = 6;
+        const int epochs = scale.mlpEpochs;
+        const CrossValSummary s = crossValidate(
+            full,
+            [&topo, epochs](const Dataset &tune, uint64_t seed) {
+                MlpConfig cfg;
+                cfg.hiddenLayers = topo;
+                cfg.epochs = epochs;
+                cfg.seed = seed;
+                return std::unique_ptr<Model>(
+                    trainMlp(tune, cfg).release());
+            },
+            cv);
+
+        const MlpModel probe(12, topo, 1);
+        std::string name;
+        for (size_t i = 0; i < topo.size(); ++i)
+            name += (i ? "/" : "") + std::to_string(topo[i]);
+        std::printf("%-14s %8zu %10u %9.2f%%  %9.2f%%  %-8s\n",
+                    name.c_str(), topo.size(),
+                    probe.opsPerInference(), s.pgosMean * 100,
+                    s.pgosStd * 100,
+                    probe.opsPerInference() <= budget50k ? "yes"
+                                                         : "no");
+    }
+    std::printf("\n(paper: 3-layer nets dominate the low-variance "
+                "frontier; 8/8/4 picked at 678 ops <= 781 budget)\n");
+    return 0;
+}

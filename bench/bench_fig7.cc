@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 7: ideal low-power residency per SPEC2017 stand-in (the
+ * fraction of intervals where the gated configuration meets the 90%
+ * SLA; paper average 45.7%). Also prints the dataset inventories of
+ * Tables 1 and 2 when run with --datasets.
+ */
+
+#include <cstring>
+
+#include "bench_common.hh"
+
+using namespace psca;
+using namespace psca::bench;
+
+int
+main(int argc, char **argv)
+{
+    banner("Figure 7 -- ideal low-power residency per benchmark");
+
+    const ScaleConfig scale = ScaleConfig::fromEnv();
+    ExperimentContext ctx = setupExperiment(scale, true);
+
+    std::printf("%-20s %-10s %-12s\n", "benchmark", "suite",
+                "residency");
+    double sum = 0.0;
+    for (size_t a = 0; a < ctx.specApps.size(); ++a) {
+        std::vector<TraceRecord> sub;
+        for (size_t i = 0; i < ctx.spec.size(); ++i)
+            if (ctx.spec[i].appId == a)
+                sub.push_back(ctx.spec[i]);
+        const double res = idealLowPowerResidency(sub, 0.90);
+        sum += res;
+        std::printf("%-20s %-10s %9.1f%%\n",
+                    ctx.specApps[a].genome.name.c_str(),
+                    ctx.specApps[a].isFp ? "SPECfp" : "SPECint",
+                    res * 100.0);
+    }
+    std::printf("%-20s %-10s %9.1f%%   [paper: 45.7%%]\n", "AVERAGE",
+                "", sum / static_cast<double>(ctx.specApps.size()) *
+                    100.0);
+
+    if (argc > 1 && std::strcmp(argv[1], "--datasets") == 0) {
+        banner("Tables 1 & 2 -- dataset inventories");
+        HdtrCategorySizes sizes;
+        std::printf("HDTR (Table 1): hpc/perf %d, cloud/sec %d, "
+                    "ai/analytics %d, web/prod %d, multimedia %d, "
+                    "games/render %d  (= %d apps)\n",
+                    sizes.hpcPerf, sizes.cloudSecurity,
+                    sizes.aiAnalytics, sizes.webProductivity,
+                    sizes.multimedia, sizes.gamesRendering,
+                    sizes.total());
+        std::printf("\nSPEC2017 stand-ins (Table 2):\n");
+        for (const auto &app : ctx.specApps) {
+            std::printf("  %-20s %-8s %d inputs\n",
+                        app.genome.name.c_str(),
+                        app.isFp ? "fp" : "int", app.numInputs);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: adaptation-model inference
+ * latency (native and firmware-VM), timing-model simulation
+ * throughput, and trace-generation throughput. These bound the cost
+ * of corpus-scale experiments and document the substrate's speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "ml/linear.hh"
+#include "ml/mlp.hh"
+#include "ml/tree.hh"
+#include "sim/core.hh"
+#include "trace/generator.hh"
+#include "uc/compilers.hh"
+
+using namespace psca;
+
+namespace {
+
+Dataset
+randomData(size_t n, size_t features, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d;
+    d.numFeatures = features;
+    std::vector<float> row(features);
+    for (size_t i = 0; i < n; ++i) {
+        float acc = 0.0f;
+        for (auto &v : row) {
+            v = static_cast<float>(rng.gaussian());
+            acc += v;
+        }
+        d.addSample(row.data(), acc > 0 ? 1 : 0, 0, 0);
+    }
+    return d;
+}
+
+Workload
+mixedWorkload()
+{
+    AppGenome g = sampleGenome(AppCategory::HpcPerf, 13);
+    Workload w;
+    w.genome = g;
+    w.inputSeed = 1;
+    w.lengthInstr = 1u << 30;
+    w.name = "micro";
+    return w;
+}
+
+void
+BM_MlpInferenceNative(benchmark::State &state)
+{
+    const Dataset d = randomData(256, 12, 1);
+    MlpConfig cfg;
+    cfg.hiddenLayers = {8, 8, 4};
+    cfg.epochs = 2;
+    auto model = trainMlp(d, cfg);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model->score(d.row(i++ & 255)));
+    }
+}
+BENCHMARK(BM_MlpInferenceNative);
+
+void
+BM_MlpInferenceFirmwareVm(benchmark::State &state)
+{
+    const Dataset d = randomData(256, 12, 2);
+    MlpConfig cfg;
+    cfg.hiddenLayers = {8, 8, 4};
+    cfg.epochs = 2;
+    auto model = trainMlp(d, cfg);
+    const UcProgram prog = compileMlp(*model);
+    UcVm vm;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(vm.run(prog, d.row(i++ & 255), 12));
+    }
+}
+BENCHMARK(BM_MlpInferenceFirmwareVm);
+
+void
+BM_ForestInferenceNative(benchmark::State &state)
+{
+    const Dataset d = randomData(512, 12, 3);
+    ForestConfig fc;
+    fc.numTrees = 8;
+    fc.maxDepth = 8;
+    RandomForest forest(d, fc);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(forest.score(d.row(i++ & 511)));
+    }
+}
+BENCHMARK(BM_ForestInferenceNative);
+
+void
+BM_ForestInferenceFirmwareVm(benchmark::State &state)
+{
+    const Dataset d = randomData(512, 12, 4);
+    ForestConfig fc;
+    fc.numTrees = 8;
+    fc.maxDepth = 8;
+    RandomForest forest(d, fc);
+    const UcProgram prog = compileForest(forest);
+    UcVm vm;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(vm.run(prog, d.row(i++ & 511), 12));
+    }
+}
+BENCHMARK(BM_ForestInferenceFirmwareVm);
+
+void
+BM_LogisticInference(benchmark::State &state)
+{
+    const Dataset d = randomData(256, 12, 5);
+    LogisticRegression lr(d, LogRegConfig{});
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lr.score(d.row(i++ & 255)));
+    }
+}
+BENCHMARK(BM_LogisticInference);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    TraceGenerator gen(mixedWorkload());
+    std::vector<MicroOp> buf;
+    for (auto _ : state) {
+        buf.clear();
+        gen.fill(buf, 4096);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const CoreMode mode = state.range(0) == 0 ? CoreMode::HighPerf
+                                              : CoreMode::LowPower;
+    ClusteredCore core;
+    core.reset();
+    core.setMode(mode);
+    TraceGenerator gen(mixedWorkload());
+    for (auto _ : state) {
+        core.run(gen, 10000);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+    state.SetLabel(mode == CoreMode::HighPerf ? "high_perf"
+                                              : "low_power");
+}
+BENCHMARK(BM_CoreSimulation)->Arg(0)->Arg(1);
+
+void
+BM_ForestTraining(benchmark::State &state)
+{
+    const Dataset d =
+        randomData(static_cast<size_t>(state.range(0)), 12, 6);
+    for (auto _ : state) {
+        ForestConfig fc;
+        fc.numTrees = 8;
+        fc.maxDepth = 8;
+        RandomForest forest(d, fc);
+        benchmark::DoNotOptimize(&forest);
+    }
+}
+BENCHMARK(BM_ForestTraining)->Arg(1000)->Arg(8000);
+
+void
+BM_MlpTraining(benchmark::State &state)
+{
+    const Dataset d =
+        randomData(static_cast<size_t>(state.range(0)), 12, 7);
+    for (auto _ : state) {
+        MlpConfig cfg;
+        cfg.hiddenLayers = {8, 8, 4};
+        cfg.epochs = 5;
+        auto m = trainMlp(d, cfg);
+        benchmark::DoNotOptimize(m.get());
+    }
+}
+BENCHMARK(BM_MlpTraining)->Arg(1000)->Arg(4000);
+
+} // namespace
+
+BENCHMARK_MAIN();

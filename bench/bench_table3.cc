@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Table 3: the microcontroller ops budget per prediction granularity
+ * (left) and ops / memory / PGOS for the model zoo (right). PGOS is
+ * computed on a held-out 20% of HDTR applications after training on
+ * the other 80% (the Sec. 6.3 screening protocol, single fold at
+ * bench scale).
+ */
+
+#include "bench_common.hh"
+
+#include "ml/linear.hh"
+#include "ml/svm.hh"
+#include "uc/budget.hh"
+
+using namespace psca;
+using namespace psca::bench;
+
+namespace {
+
+struct ZooEntry
+{
+    std::string name;
+    std::string config;
+    std::unique_ptr<Model> model;
+    double pgos = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 3 -- microcontroller budgets and the model zoo");
+
+    const UcBudget budget;
+    std::printf("CPU: 2.0 GHz, 8-wide, 16,000 MIPS | "
+                "microcontroller: 500 MIPS, 50%% available\n\n");
+    std::printf("%-14s %-16s %-12s\n", "granularity", "max uC ops",
+                "ops budget");
+    for (uint64_t l : {10000, 20000, 30000, 40000, 50000, 60000,
+                       100000}) {
+        std::printf("%-14lu %-16lu %-12lu\n",
+                    static_cast<unsigned long>(l),
+                    static_cast<unsigned long>(budget.maxOps(l)),
+                    static_cast<unsigned long>(budget.opsBudget(l)));
+    }
+
+    // ---- Model zoo ----------------------------------------------------
+    const ScaleConfig scale = ScaleConfig::fromEnv();
+    ExperimentContext ctx = setupExperiment(scale, false);
+
+    // Low-power-mode telemetry at the 10k base interval (the harder
+    // problem, Sec. 6.1), PF-12 counters (8 for the CHARSTAR row).
+    AssemblyOptions opts;
+    opts.granularityInstr = 10000;
+    opts.telemetryMode = CoreMode::LowPower;
+    opts.columns = ctx.plan.pfColumns(12);
+    const Dataset pf12 =
+        assembleDataset(ctx.hdtr, opts, ctx.build.intervalInstr);
+    opts.columns = ctx.plan.charstarColumns();
+    const Dataset expert8 =
+        assembleDataset(ctx.hdtr, opts, ctx.build.intervalInstr);
+
+    auto holdout = [&](const Dataset &full, auto factory) {
+        const FoldSplit split = appLevelSplit(full, 0.8, 99);
+        Dataset tune_raw = full.subset(split.tuneIdx);
+        if (scale.maxTuneSamples &&
+            tune_raw.numSamples() > scale.maxTuneSamples) {
+            std::vector<size_t> keep(scale.maxTuneSamples);
+            for (size_t i = 0; i < keep.size(); ++i)
+                keep[i] = i * (tune_raw.numSamples() / keep.size());
+            tune_raw = tune_raw.subset(keep);
+        }
+        const FeatureScaler scaler = FeatureScaler::fit(tune_raw);
+        const Dataset tune = scaler.apply(tune_raw);
+        const Dataset valid = scaler.apply(full.subset(split.validIdx));
+        std::unique_ptr<Model> model = factory(tune);
+        const EvalResult eval = evaluateModel(*model, valid, 1600);
+        return std::pair(std::move(model), eval.pgos);
+    };
+
+    std::vector<ZooEntry> zoo;
+    const int epochs = scale.mlpEpochs;
+
+    auto add = [&](const char *name, const char *config,
+                   const Dataset &data, auto factory) {
+        auto [model, pgos] = holdout(data, factory);
+        zoo.push_back(
+            ZooEntry{name, config, std::move(model), pgos});
+    };
+
+    add("Multi Layer Perceptron", "3 layers, 32/32/16, ReLU", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            MlpConfig c;
+            c.hiddenLayers = {32, 32, 16};
+            c.epochs = epochs;
+            return trainMlp(t, c);
+        });
+    add("Decision Tree", "max depth 16", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            TreeConfig c;
+            c.maxDepth = 16;
+            return std::make_unique<DecisionTree>(
+                t, std::vector<size_t>{}, c);
+        });
+    add("Support Vector Machine", "chi^2 kernel, <=1000 SVs", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            Chi2SvmConfig c;
+            c.maxSupportVectors = 1000;
+            c.epochs = 2;
+            return std::make_unique<Chi2Svm>(t, c);
+        });
+    add("Random Forest", "16 trees, max depth 8", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            ForestConfig c;
+            c.numTrees = 16;
+            c.maxDepth = 8;
+            return std::make_unique<RandomForest>(t, c);
+        });
+    add("Random Forest", "8 trees, max depth 8", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            ForestConfig c;
+            c.numTrees = 8;
+            c.maxDepth = 8;
+            return std::make_unique<RandomForest>(t, c);
+        });
+    add("Multi Layer Perceptron", "3 layers, 8/8/4, ReLU", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            MlpConfig c;
+            c.hiddenLayers = {8, 8, 4};
+            c.epochs = epochs;
+            return trainMlp(t, c);
+        });
+    add("Multi Layer Perceptron", "1 layer, 10 (CHARSTAR-eq)",
+        expert8, [&](const Dataset &t) -> std::unique_ptr<Model> {
+            MlpConfig c;
+            c.hiddenLayers = {10};
+            c.epochs = epochs;
+            return trainMlp(t, c);
+        });
+    add("Support Vector Machine", "linear kernel, 5-ensemble", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            return std::make_unique<LinearSvmEnsemble>(
+                t, LinearSvmConfig{});
+        });
+    add("Regression", "logistic", pf12,
+        [&](const Dataset &t) -> std::unique_ptr<Model> {
+            return std::make_unique<LogisticRegression>(
+                t, LogRegConfig{});
+        });
+
+    std::printf("\n%-24s %-28s %8s %9s %12s %8s\n", "model class",
+                "configuration", "#inputs", "ops/pred", "memory",
+                "PGOS");
+    for (const auto &e : zoo) {
+        char mem[32];
+        const size_t bytes = e.model->memoryFootprintBytes();
+        if (bytes >= 1024)
+            std::snprintf(mem, sizeof(mem), "%.2fKB",
+                          static_cast<double>(bytes) / 1024.0);
+        else
+            std::snprintf(mem, sizeof(mem), "%zuB", bytes);
+        std::printf("%-24s %-28s %8zu %9u %12s %7.2f%%\n",
+                    e.name.c_str(), e.config.c_str(),
+                    e.model->numInputs(), e.model->opsPerInference(),
+                    mem, e.pgos * 100.0);
+    }
+    std::printf("\n(paper ops: MLP-32/32/16 6,162 | tree-16 133 | "
+                "chi2 SVM ~121k | RF16 1,074 | RF8 538 |\n MLP-8/8/4 "
+                "678 | CHARSTAR 292 | linear SVM 412 | LR 158)\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 4: the counters chosen by PF Counter Selection (ours, next
+ * to the paper's 12 for comparison), plus the screen populations
+ * (936 -> post-activity -> post-stddev, paper: 936 -> 308).
+ */
+
+#include "bench_common.hh"
+
+using namespace psca;
+using namespace psca::bench;
+
+int
+main()
+{
+    banner("Table 4 -- PF Counter Selection result");
+
+    const ScaleConfig scale = ScaleConfig::fromEnv();
+    const auto apps = buildHdtrApps(scale.pfApps);
+    std::vector<Workload> workloads;
+    std::vector<uint32_t> ids;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        Workload w;
+        w.genome = apps[a];
+        w.inputSeed = 1;
+        w.lengthInstr = scale.pfTraceLen;
+        w.name = apps[a].name + ".pf";
+        workloads.push_back(std::move(w));
+        ids.push_back(static_cast<uint32_t>(a));
+    }
+    BuildConfig cfg;
+    cfg.counterIds.resize(kNumTelemetryCounters);
+    for (size_t i = 0; i < kNumTelemetryCounters; ++i)
+        cfg.counterIds[i] = static_cast<uint16_t>(i);
+    const auto records = recordCorpus(workloads, ids, cfg, "pf936");
+
+    const PfConfig pf_cfg;
+    const PfResult res =
+        pfCounterSelection(records, pf_cfg, CoreMode::LowPower);
+
+    std::printf("screen populations: %zu -> %zu (low-activity) -> "
+                "%zu (std-dev)   [paper: 936 -> 308]\n\n",
+                kNumTelemetryCounters, res.afterActivityScreen,
+                res.survivors.size());
+
+    static const char *const paper12[] = {
+        "Micro Op Cache Misses", "L2 Silent Evictions",
+        "Wrong-Path uOps Flushed", "Store Queue Occupancy",
+        "L1 Data Cache Reads", "Stall Count",
+        "Physical Register Ref. Count", "Loads Retired",
+        "L1 Data Cache Hits", "Micro Op Cache Hits",
+        "Micro Ops Stalled on Dep.", "Micro Ops Ready",
+    };
+    const auto &reg = CounterRegistry::instance();
+    std::printf("%-4s %-36s %-32s\n", "#", "ours (PF ranked)",
+                "paper Table 4");
+    for (size_t i = 0; i < 12; ++i) {
+        const char *ours = i < res.selected.size()
+            ? reg.name(res.selected[i]).c_str()
+            : "-";
+        std::printf("%-4zu %-36s %-32s\n", i + 1, ours, paper12[i]);
+    }
+    std::printf("\n(ranked %zu counters total)\n",
+                res.selected.size());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Post-silicon SLA differentiation (Sec. 3.2 / 7.3): a data center
+ * operator holds one physical CPU design but three customer tiers.
+ * Retraining the adaptation model to each tier's SLA — a firmware
+ * update, no silicon change — yields three effective CPUs with
+ * distinct power/performance characteristics. We demonstrate on a
+ * small fleet of cloud-style workloads.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.hh"
+
+using namespace psca;
+
+int
+main()
+{
+    // A small "fleet" of cloud workloads recorded once.
+    BuildConfig build;
+    build.counterIds = {
+        CounterRegistry::index(Ctr::InstRetired),
+        CounterRegistry::index(Ctr::StallCount),
+        CounterRegistry::index(Ctr::L1dMiss),
+        CounterRegistry::index(Ctr::LoadLatSum),
+        CounterRegistry::index(Ctr::MshrOccSum),
+        CounterRegistry::index(Ctr::UopsStalledOnDep),
+        CounterRegistry::index(Ctr::UopsReady),
+        CounterRegistry::index(Ctr::SqOccSum),
+    };
+
+    std::printf("recording a 12-workload mixed fleet...\n");
+    std::vector<Workload> fleet;
+    std::vector<TraceRecord> records;
+    for (uint64_t i = 0; i < 12; ++i) {
+        // Mixed tenant mix: cloud services plus HPC and media jobs,
+        // so the SLA threshold actually binds on borderline phases.
+        Workload w;
+        w.genome = sampleGenome(
+            static_cast<AppCategory>(i % 6), 500 + i);
+        w.inputSeed = 1;
+        w.lengthInstr = 400000;
+        w.name = w.genome.name;
+        records.push_back(
+            recordTrace(w, build, static_cast<uint32_t>(i), 0));
+        fleet.push_back(std::move(w));
+    }
+
+    std::printf("\n%-10s %-10s %-12s %-16s %-12s\n", "tier", "P_SLA",
+                "PPW gain", "perf vs high", "RSV");
+    struct Tier { const char *name; double pSla; };
+    for (const Tier &tier : {Tier{"premium", 0.90},
+                             Tier{"standard", 0.80},
+                             Tier{"economy", 0.70}}) {
+        // Retrain to this tier's SLA: labels are recomputed from the
+        // same telemetry (a pure firmware change).
+        DualTrainOptions opts;
+        opts.granularityInstr = 40000;
+        opts.pSla = tier.pSla;
+        opts.columns = {0, 1, 2, 3, 4, 5, 6, 7};
+        opts.rsvWindow = 400;
+        TrainedDual dual = trainDual(
+            records, build, opts,
+            [](const Dataset &tune,
+               uint64_t seed) -> std::unique_ptr<Model> {
+                ForestConfig fc;
+                fc.numTrees = 8;
+                fc.maxDepth = 8;
+                fc.seed = seed;
+                return std::make_unique<RandomForest>(tune, fc);
+            });
+        DualModelPredictor predictor(dual.high, dual.low,
+                                     opts.columns, 40000, tier.name);
+
+        double ppw = 0, perf = 0, rsv = 0;
+        SlaSpec sla;
+        sla.pSla = tier.pSla;
+        for (size_t i = 0; i < fleet.size(); ++i) {
+            const ClosedLoopResult r = runClosedLoop(
+                fleet[i], records[i], predictor, build, sla);
+            ppw += r.ppwGainPct;
+            perf += r.perfRelativePct;
+            rsv += r.rsv * 100;
+        }
+        const double n = static_cast<double>(fleet.size());
+        std::printf("%-10s %-10.2f %+10.1f%% %13.1f%% %10.2f%%\n",
+                    tier.name, tier.pSla, ppw / n, perf / n,
+                    rsv / n);
+    }
+    std::printf("\nOne die, three products: looser SLAs buy more "
+                "gating and more PPW (paper Table 5: 21.9%% -> "
+                "28.2%% -> 31.4%%).\n");
+    return 0;
+}

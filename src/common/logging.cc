@@ -1,0 +1,14 @@
+#include "logging.hh"
+
+namespace psca {
+namespace detail {
+
+void
+emitLine(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[psca:%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace psca

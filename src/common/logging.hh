@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting helpers in the style of gem5's
+ * base/logging.hh: inform() for status, warn() for suspicious but
+ * non-fatal conditions, fatal() for user errors (clean exit), and
+ * panic() for internal invariant violations (abort).
+ */
+
+#ifndef PSCA_COMMON_LOGGING_HH
+#define PSCA_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace psca {
+
+namespace detail {
+
+/** Fold any streamable arguments into a single string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit one tagged line to stderr. */
+void emitLine(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLine("info", detail::formatMessage(
+        std::forward<Args>(args)...));
+}
+
+/** Print a warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLine("warn", detail::formatMessage(
+        std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate due to a user-correctable error (bad configuration,
+ * invalid arguments). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLine("fatal", detail::formatMessage(
+        std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate due to an internal invariant violation (a library bug,
+ * never the user's fault). Aborts so a core/backtrace is available.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLine("panic", detail::formatMessage(
+        std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Abort via panic() when a library invariant does not hold. */
+#define PSCA_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::psca::panic("assertion failed: ", #cond, " at ",          \
+                          __FILE__, ":", __LINE__, " ", ##__VA_ARGS__); \
+        }                                                               \
+    } while (0)
+
+} // namespace psca
+
+#endif // PSCA_COMMON_LOGGING_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Every stochastic component in the library (workload genomes, trace
+ * generation, dataset partitioning, model initialization, bagging)
+ * draws from an explicitly seeded Rng so that repeated runs of a bench
+ * binary print identical rows. The generator is xoshiro256** seeded
+ * via SplitMix64, following the reference implementations of Blackman
+ * and Vigna.
+ */
+
+#ifndef PSCA_COMMON_RNG_HH
+#define PSCA_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace psca {
+
+/** SplitMix64 step, used for seeding and cheap hash mixing. */
+inline uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless mix of two words, for deriving per-entity seeds. */
+inline uint64_t
+mixSeeds(uint64_t a, uint64_t b)
+{
+    uint64_t s = a ^ (b * 0x9e3779b97f4a7c15ULL);
+    return splitMix64(s);
+}
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws.
+ * Not thread-safe; create one per thread or per entity.
+ */
+class Rng
+{
+  public:
+    /** Seed all 256 bits of state from one word via SplitMix64. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Multiply-shift bounded draw (Lemire); bias is negligible
+        // for the small ranges used here.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    gaussian()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal draw with given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+    /** Log-normal draw parameterized by the underlying normal. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(gaussian(mu, sigma));
+    }
+
+    /** Geometric-ish draw: exponential with given mean, >= 1. */
+    double
+    exponential(double mean)
+    {
+        double u = 0.0;
+        while (u <= 1e-300)
+            u = uniform();
+        return -mean * std::log(u);
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            const size_t j = below(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Sample an index from unnormalized non-negative weights. */
+    size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        double draw = uniform() * total;
+        for (size_t i = 0; i < weights.size(); ++i) {
+            draw -= weights[i];
+            if (draw <= 0.0)
+                return i;
+        }
+        return weights.empty() ? 0 : weights.size() - 1;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+    bool have_cached_ = false;
+    double cached_ = 0.0;
+};
+
+} // namespace psca
+
+#endif // PSCA_COMMON_RNG_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal binary (de)serialization helpers used by the dataset cache
+ * and model save/load. Little-endian host assumed (x86); files carry a
+ * magic word and version so stale caches are rejected, not misread.
+ */
+
+#ifndef PSCA_COMMON_SERIALIZE_HH
+#define PSCA_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace psca {
+
+/** Streaming binary writer over a file. */
+class BinaryWriter
+{
+  public:
+    explicit BinaryWriter(const std::string &path)
+        : out_(path, std::ios::binary)
+    {
+        if (!out_)
+            fatal("cannot open '", path, "' for writing");
+    }
+
+    /** Write one trivially-copyable value. */
+    template <typename T>
+    void
+    put(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        out_.write(reinterpret_cast<const char *>(&value), sizeof(T));
+    }
+
+    /** Write a length-prefixed vector of trivially-copyable values. */
+    template <typename T>
+    void
+    putVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        put<uint64_t>(v.size());
+        out_.write(reinterpret_cast<const char *>(v.data()),
+                   static_cast<std::streamsize>(v.size() * sizeof(T)));
+    }
+
+    /** Write a length-prefixed string. */
+    void
+    putString(const std::string &s)
+    {
+        put<uint64_t>(s.size());
+        out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    /** True while no write error has occurred. */
+    bool good() const { return static_cast<bool>(out_); }
+
+  private:
+    std::ofstream out_;
+};
+
+/** Streaming binary reader over a file. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(const std::string &path)
+        : in_(path, std::ios::binary)
+    {}
+
+    /** True if the file opened and no read error has occurred. */
+    bool good() const { return static_cast<bool>(in_); }
+
+    /** Read one trivially-copyable value. */
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        in_.read(reinterpret_cast<char *>(&value), sizeof(T));
+        return value;
+    }
+
+    /** Read a length-prefixed vector. */
+    template <typename T>
+    std::vector<T>
+    getVector()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto n = get<uint64_t>();
+        std::vector<T> v(n);
+        in_.read(reinterpret_cast<char *>(v.data()),
+                 static_cast<std::streamsize>(n * sizeof(T)));
+        return v;
+    }
+
+    /** Read a length-prefixed string. */
+    std::string
+    getString()
+    {
+        const auto n = get<uint64_t>();
+        std::string s(n, '\0');
+        in_.read(s.data(), static_cast<std::streamsize>(n));
+        return s;
+    }
+
+  private:
+    std::ifstream in_;
+};
+
+} // namespace psca
+
+#endif // PSCA_COMMON_SERIALIZE_HH

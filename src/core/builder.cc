@@ -1,0 +1,286 @@
+#include "core/builder.hh"
+
+#include <filesystem>
+
+#include "common/serialize.hh"
+#include "sim/core.hh"
+
+namespace psca {
+
+namespace {
+
+/** Bump when record semantics change, to invalidate stale caches. */
+constexpr uint32_t kCacheVersion = 3;
+constexpr uint64_t kCacheMagic = 0x50534341435253ULL; // "PSCACRS"
+
+/** Stable hash of everything that affects record contents. */
+uint64_t
+configHash(const std::vector<Workload> &workloads,
+           const BuildConfig &cfg)
+{
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ kCacheVersion;
+    auto mix = [&h](uint64_t v) { h = mixSeeds(h, v); };
+    for (const auto &w : workloads) {
+        for (char c : w.name)
+            mix(static_cast<uint64_t>(c));
+        mix(w.genome.seed);
+        mix(w.inputSeed);
+        mix(w.traceIndex);
+        mix(w.lengthInstr);
+        for (const auto &p : w.genome.phases) {
+            mix(static_cast<uint64_t>(p.kernel.kind));
+            mix(p.kernel.workingSetBytes);
+            mix(static_cast<uint64_t>(p.kernel.chains));
+            mix(static_cast<uint64_t>(p.weight * 1e6));
+            mix(static_cast<uint64_t>(p.meanLenInstr));
+        }
+    }
+    mix(cfg.intervalInstr);
+    mix(cfg.warmupInstr);
+    for (uint16_t id : cfg.counterIds)
+        mix(id);
+    mix(static_cast<uint64_t>(cfg.core.robSize));
+    mix(static_cast<uint64_t>(cfg.core.dramSlotCycles));
+    mix(static_cast<uint64_t>(cfg.core.mshrsPerCluster));
+    return h;
+}
+
+void
+writeRecord(BinaryWriter &out, const TraceRecord &r)
+{
+    out.putString(r.name);
+    out.put(r.appId);
+    out.put(r.traceId);
+    out.put(r.numCounters);
+    out.putVector(r.deltaHigh);
+    out.putVector(r.deltaLow);
+    out.putVector(r.cyclesHigh);
+    out.putVector(r.cyclesLow);
+    out.putVector(r.energyHighNj);
+    out.putVector(r.energyLowNj);
+}
+
+TraceRecord
+readRecord(BinaryReader &in)
+{
+    TraceRecord r;
+    r.name = in.getString();
+    r.appId = in.get<uint32_t>();
+    r.traceId = in.get<uint32_t>();
+    r.numCounters = in.get<uint16_t>();
+    r.deltaHigh = in.getVector<float>();
+    r.deltaLow = in.getVector<float>();
+    r.cyclesHigh = in.getVector<float>();
+    r.cyclesLow = in.getVector<float>();
+    r.energyHighNj = in.getVector<float>();
+    r.energyLowNj = in.getVector<float>();
+    return r;
+}
+
+/** One fixed-mode recording pass over a trace. */
+void
+recordMode(const Workload &workload, const BuildConfig &cfg,
+           CoreMode mode, std::vector<float> &deltas,
+           std::vector<float> &cycles, std::vector<float> &energy)
+{
+    ClusteredCore core(cfg.core);
+    core.reset();
+    core.setMode(mode);
+    PowerModel power(cfg.power, cfg.core.clockGhz);
+    TraceGenerator gen(workload);
+
+    if (cfg.warmupInstr > 0)
+        core.run(gen, cfg.warmupInstr);
+
+    const size_t n_ctr = cfg.counterIds.size();
+    std::vector<uint64_t> prev(core.counters().raw());
+    std::vector<uint64_t> delta_all(prev.size());
+
+    uint64_t remaining = workload.lengthInstr;
+    while (remaining >= cfg.intervalInstr) {
+        const IntervalStats stats = core.run(gen, cfg.intervalInstr);
+        remaining -= cfg.intervalInstr;
+
+        const auto &now = core.counters().raw();
+        for (size_t i = 0; i < now.size(); ++i)
+            delta_all[i] = now[i] - prev[i];
+        prev = now;
+
+        for (size_t i = 0; i < n_ctr; ++i)
+            deltas.push_back(static_cast<float>(
+                delta_all[cfg.counterIds[i]]));
+        cycles.push_back(static_cast<float>(stats.cycles));
+        energy.push_back(static_cast<float>(
+            power.intervalEnergyNj(delta_all, stats.cycles, mode)));
+    }
+}
+
+} // namespace
+
+std::string
+cacheDirectory()
+{
+    const char *env = std::getenv("PSCA_CACHE_DIR");
+    std::string dir = env ? env : "psca_cache";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+TraceRecord
+recordTrace(const Workload &workload, const BuildConfig &cfg,
+            uint32_t app_id, uint32_t trace_id)
+{
+    PSCA_ASSERT(!cfg.counterIds.empty(),
+                "recording requires a counter list");
+    TraceRecord record;
+    record.name = workload.name;
+    record.appId = app_id;
+    record.traceId = trace_id;
+    record.numCounters = static_cast<uint16_t>(cfg.counterIds.size());
+
+    recordMode(workload, cfg, CoreMode::HighPerf, record.deltaHigh,
+               record.cyclesHigh, record.energyHighNj);
+    recordMode(workload, cfg, CoreMode::LowPower, record.deltaLow,
+               record.cyclesLow, record.energyLowNj);
+    PSCA_ASSERT(record.cyclesHigh.size() == record.cyclesLow.size(),
+                "mode runs disagree on interval count");
+    return record;
+}
+
+std::vector<TraceRecord>
+recordCorpus(const std::vector<Workload> &workloads,
+             const std::vector<uint32_t> &app_ids,
+             const BuildConfig &cfg, const std::string &cache_tag)
+{
+    PSCA_ASSERT(workloads.size() == app_ids.size(),
+                "workload/app-id list mismatch");
+
+    const uint64_t hash = configHash(workloads, cfg);
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    const std::string path =
+        cacheDirectory() + "/" + cache_tag + "_" + hex + ".bin";
+
+    // Try the cache.
+    {
+        BinaryReader in(path);
+        if (in.good() && in.get<uint64_t>() == kCacheMagic &&
+            in.get<uint64_t>() == hash)
+        {
+            const auto n = in.get<uint64_t>();
+            std::vector<TraceRecord> records;
+            records.reserve(n);
+            for (uint64_t i = 0; i < n && in.good(); ++i)
+                records.push_back(readRecord(in));
+            if (in.good() && records.size() == n) {
+                inform("loaded ", records.size(),
+                       " cached records from ", path);
+                return records;
+            }
+            warn("discarding corrupt cache ", path);
+        }
+    }
+
+    inform("recording ", workloads.size(), " traces (tag=", cache_tag,
+           ", dual-mode simulation; cached to ", path, ")");
+    std::vector<TraceRecord> records;
+    records.reserve(workloads.size());
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        records.push_back(recordTrace(workloads[i], cfg, app_ids[i],
+                                      static_cast<uint32_t>(i)));
+        if ((i + 1) % 200 == 0)
+            inform("  ", i + 1, "/", workloads.size(), " traces");
+    }
+
+    BinaryWriter out(path);
+    out.put(kCacheMagic);
+    out.put(hash);
+    out.put<uint64_t>(records.size());
+    for (const auto &r : records)
+        writeRecord(out, r);
+    return records;
+}
+
+std::vector<uint8_t>
+blockLabels(const TraceRecord &record, size_t k, double p_sla)
+{
+    PSCA_ASSERT(k >= 1, "granularity must cover >= 1 interval");
+    const size_t blocks = record.numIntervals() / k;
+    std::vector<uint8_t> labels(blocks);
+    for (size_t b = 0; b < blocks; ++b) {
+        double ch = 0.0, cl = 0.0;
+        for (size_t t = b * k; t < (b + 1) * k; ++t) {
+            ch += record.cyclesHigh[t];
+            cl += record.cyclesLow[t];
+        }
+        // IPC_low / IPC_high == cyclesHigh / cyclesLow.
+        labels[b] = cl > 0.0 && ch / cl >= p_sla ? 1 : 0;
+    }
+    return labels;
+}
+
+Dataset
+assembleDataset(const std::vector<TraceRecord> &records,
+                const AssemblyOptions &opts, uint64_t interval_instr)
+{
+    PSCA_ASSERT(opts.granularityInstr % interval_instr == 0,
+                "granularity must be a multiple of the interval");
+    const size_t k = opts.granularityInstr / interval_instr;
+
+    Dataset out;
+    if (records.empty())
+        return out;
+
+    std::vector<size_t> columns = opts.columns;
+    if (columns.empty()) {
+        columns.resize(records.front().numCounters);
+        for (size_t j = 0; j < columns.size(); ++j)
+            columns[j] = j;
+    }
+    out.numFeatures = columns.size();
+
+    std::vector<float> features(out.numFeatures);
+    for (const auto &record : records) {
+        const auto labels = blockLabels(record, k, opts.pSla);
+        const size_t blocks = labels.size();
+        const bool low = opts.telemetryMode == CoreMode::LowPower;
+        for (size_t b = 0; b + 2 < blocks; ++b) {
+            double cyc = 0.0;
+            std::vector<double> agg(out.numFeatures, 0.0);
+            for (size_t t = b * k; t < (b + 1) * k; ++t) {
+                const float *row =
+                    low ? record.rowLow(t) : record.rowHigh(t);
+                for (size_t j = 0; j < columns.size(); ++j)
+                    agg[j] += row[columns[j]];
+                cyc += low ? record.cyclesLow[t]
+                           : record.cyclesHigh[t];
+            }
+            const double inv = cyc > 0.0 ? 1.0 / cyc : 0.0;
+            for (size_t j = 0; j < out.numFeatures; ++j)
+                features[j] = static_cast<float>(agg[j] * inv);
+            out.addSample(features.data(), labels[b + 2],
+                          record.appId, record.traceId);
+        }
+    }
+    return out;
+}
+
+double
+idealLowPowerResidency(const std::vector<TraceRecord> &records,
+                       double p_sla)
+{
+    uint64_t gate = 0, total = 0;
+    for (const auto &record : records) {
+        const auto labels = blockLabels(record, 1, p_sla);
+        for (uint8_t y : labels)
+            gate += y;
+        total += labels.size();
+    }
+    return total ? static_cast<double>(gate) /
+            static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace psca

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Dataset construction (Sec. 4.1): each workload trace is simulated
+ * once per cluster configuration; telemetry counters, cycles, and
+ * energy are snapshotted every 10k instructions. Records store raw
+ * per-interval counter deltas so features can be re-aggregated to any
+ * coarser prediction granularity ("sum over successive intervals and
+ * re-normalize") and labels can be recomputed for any SLA threshold
+ * (the post-silicon relabeling of Sec. 7.3).
+ *
+ * Ground truth: y_t = 1 iff low-power-mode IPC in interval t is at
+ * least pSla of high-performance-mode IPC; the training sample pairs
+ * counters x_t with label y_{t+2} (Fig. 3's pipeline timing).
+ *
+ * Records are cached on disk keyed by a hash of the workload and
+ * configuration, since corpus-scale dual-mode simulation is the
+ * dominant cost of every experiment.
+ */
+
+#ifndef PSCA_CORE_BUILDER_HH
+#define PSCA_CORE_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "power/power_model.hh"
+#include "sim/config.hh"
+#include "trace/corpus.hh"
+
+namespace psca {
+
+/** Recording configuration. */
+struct BuildConfig
+{
+    uint64_t intervalInstr = 10000;
+    uint64_t warmupInstr = 50000;
+    /** Registry ids of the counters to record per interval. */
+    std::vector<uint16_t> counterIds;
+    CoreConfig core;
+    PowerModelConfig power;
+};
+
+/** Dual-mode telemetry record of one trace. */
+struct TraceRecord
+{
+    std::string name;
+    uint32_t appId = 0;
+    uint32_t traceId = 0;
+    uint16_t numCounters = 0;
+
+    /** Raw counter deltas, intervals x numCounters, per mode. */
+    std::vector<float> deltaHigh;
+    std::vector<float> deltaLow;
+    std::vector<float> cyclesHigh; //!< per interval
+    std::vector<float> cyclesLow;
+    std::vector<float> energyHighNj;
+    std::vector<float> energyLowNj;
+
+    size_t numIntervals() const { return cyclesHigh.size(); }
+
+    const float *
+    rowHigh(size_t t) const
+    {
+        return deltaHigh.data() + t * numCounters;
+    }
+
+    const float *
+    rowLow(size_t t) const
+    {
+        return deltaLow.data() + t * numCounters;
+    }
+
+    /** IPC ratio low/high of interval t (= cyclesHigh/cyclesLow). */
+    double
+    ipcRatio(size_t t) const
+    {
+        return cyclesLow[t] > 0.0f
+            ? static_cast<double>(cyclesHigh[t]) / cyclesLow[t]
+            : 1.0;
+    }
+};
+
+/** Simulate one workload in both modes and record telemetry. */
+TraceRecord recordTrace(const Workload &workload,
+                        const BuildConfig &cfg, uint32_t app_id,
+                        uint32_t trace_id);
+
+/**
+ * Record a list of workloads, using/maintaining the on-disk cache.
+ *
+ * @param cache_tag Human-readable cache file prefix (e.g. "hdtr").
+ * @param app_ids Parallel app-id list (same length as workloads).
+ */
+std::vector<TraceRecord> recordCorpus(
+    const std::vector<Workload> &workloads,
+    const std::vector<uint32_t> &app_ids, const BuildConfig &cfg,
+    const std::string &cache_tag);
+
+/** Directory used for record caches ($PSCA_CACHE_DIR or psca_cache). */
+std::string cacheDirectory();
+
+/** Feature/label assembly options. */
+struct AssemblyOptions
+{
+    /** Prediction granularity; multiple of the record interval. */
+    uint64_t granularityInstr = 10000;
+    double pSla = 0.90;
+    /** Which mode's telemetry forms the features. */
+    CoreMode telemetryMode = CoreMode::LowPower;
+    /** Record-column subset to keep (empty = all columns). */
+    std::vector<size_t> columns;
+};
+
+/**
+ * Assemble an ML dataset from records: aggregate intervals to the
+ * requested granularity, cycle-normalize, and pair x_t with y_{t+2}.
+ */
+Dataset assembleDataset(const std::vector<TraceRecord> &records,
+                        const AssemblyOptions &opts,
+                        uint64_t interval_instr);
+
+/** Ground-truth gate labels of one record at block granularity k. */
+std::vector<uint8_t> blockLabels(const TraceRecord &record, size_t k,
+                                 double p_sla);
+
+/** Instruction-weighted ideal low-power residency (Fig. 7). */
+double idealLowPowerResidency(const std::vector<TraceRecord> &records,
+                              double p_sla);
+
+} // namespace psca
+
+#endif // PSCA_CORE_BUILDER_HH

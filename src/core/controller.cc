@@ -1,0 +1,210 @@
+#include "core/controller.hh"
+
+#include <algorithm>
+
+#include "sim/core.hh"
+#include "uc/budget.hh"
+
+namespace psca {
+
+DualModelPredictor::DualModelPredictor(ScaledModel high,
+                                       ScaledModel low,
+                                       std::vector<size_t> columns,
+                                       uint64_t granularity,
+                                       std::string name)
+    : high_(std::move(high)), low_(std::move(low)),
+      columns_(std::move(columns)), granularity_(granularity),
+      name_(std::move(name))
+{}
+
+bool
+DualModelPredictor::decide(const std::vector<const float *> &sub_rows,
+                           const std::vector<float> &sub_cycles,
+                           CoreMode mode)
+{
+    // Aggregate the block and cycle-normalize (Sec. 4.1).
+    std::vector<float> agg(columns_.size(), 0.0f);
+    double cycles = 0.0;
+    for (size_t t = 0; t < sub_rows.size(); ++t) {
+        for (size_t j = 0; j < columns_.size(); ++j)
+            agg[j] += sub_rows[t][columns_[j]];
+        cycles += sub_cycles[t];
+    }
+    const float inv =
+        cycles > 0.0 ? static_cast<float>(1.0 / cycles) : 0.0f;
+    for (auto &v : agg)
+        v *= inv;
+
+    const ScaledModel &slot =
+        mode == CoreMode::HighPerf ? high_ : low_;
+    std::vector<float> scaled(agg.size());
+    slot.scaler.applyRow(agg.data(), scaled.data());
+    return slot.model->predict(scaled.data());
+}
+
+uint32_t
+DualModelPredictor::opsPerInference() const
+{
+    return std::max(high_.model->opsPerInference(),
+                    low_.model->opsPerInference());
+}
+
+SrchPredictor::SrchPredictor(std::shared_ptr<SrchModel> high,
+                             std::shared_ptr<SrchModel> low,
+                             std::vector<size_t> columns,
+                             uint64_t granularity, std::string name)
+    : high_(std::move(high)), low_(std::move(low)),
+      columns_(std::move(columns)), granularity_(granularity),
+      name_(std::move(name))
+{}
+
+bool
+SrchPredictor::decide(const std::vector<const float *> &sub_rows,
+                      const std::vector<float> &sub_cycles,
+                      CoreMode mode)
+{
+    const auto &model = mode == CoreMode::HighPerf ? high_ : low_;
+
+    // Build per-sub-interval normalized rows in model column order.
+    std::vector<std::vector<float>> rows(sub_rows.size());
+    std::vector<const float *> row_ptrs;
+    for (size_t t = 0; t < sub_rows.size(); ++t) {
+        rows[t].resize(columns_.size());
+        const float inv = sub_cycles[t] > 0.0f
+            ? 1.0f / sub_cycles[t]
+            : 0.0f;
+        for (size_t j = 0; j < columns_.size(); ++j)
+            rows[t][j] = sub_rows[t][columns_[j]] * inv;
+        row_ptrs.push_back(rows[t].data());
+    }
+
+    std::vector<float> features(model->encoder().numFeatures());
+    model->encoder().encode(row_ptrs, features.data());
+    return model->predict(features.data());
+}
+
+uint32_t
+SrchPredictor::opsPerInference() const
+{
+    return std::max(high_->opsPerInference(),
+                    low_->opsPerInference());
+}
+
+ClosedLoopResult
+runClosedLoop(const Workload &workload, const TraceRecord &reference,
+              GatePredictor &predictor, const BuildConfig &cfg,
+              const SlaSpec &sla)
+{
+    PSCA_ASSERT(predictor.granularity() % cfg.intervalInstr == 0,
+                "granularity must be a multiple of the interval");
+    const size_t k = predictor.granularity() / cfg.intervalInstr;
+    const size_t blocks = reference.numIntervals() / k;
+
+    ClosedLoopResult result;
+    if (blocks == 0)
+        return result;
+
+    ClusteredCore core(cfg.core);
+    core.reset();
+    core.setMode(CoreMode::HighPerf);
+    PowerModel power(cfg.power, cfg.core.clockGhz);
+    TraceGenerator gen(workload);
+    if (cfg.warmupInstr > 0)
+        core.run(gen, cfg.warmupInstr);
+
+    const auto labels = blockLabels(reference, k, sla.pSla);
+    const UcBudget budget;
+    const uint64_t ops_budget =
+        budget.opsBudget(predictor.granularity());
+    if (predictor.opsPerInference() > ops_budget) {
+        warn("predictor '", predictor.name(), "' needs ",
+             predictor.opsPerInference(), " ops but the ",
+             predictor.granularity(), "-instruction budget is ",
+             ops_budget);
+    }
+
+    std::vector<uint8_t> predictions(blocks, 0); // applied config
+    std::vector<uint64_t> prev(core.counters().raw());
+    std::vector<uint64_t> delta_all(prev.size());
+    std::vector<std::vector<float>> sub_rows(
+        k, std::vector<float>(cfg.counterIds.size()));
+    std::vector<float> sub_cycles(k);
+
+    PpwAccumulator adaptive;
+    uint64_t low_blocks = 0;
+    // Decisions waiting to be applied (decision at block b applies
+    // at block b+2).
+    std::vector<uint8_t> pending(blocks + 2, 0);
+
+    for (size_t b = 0; b < blocks; ++b) {
+        core.setMode(pending[b] ? CoreMode::LowPower
+                                : CoreMode::HighPerf);
+        const CoreMode block_mode = core.mode();
+        predictions[b] = pending[b];
+        low_blocks += pending[b];
+
+        for (size_t t = 0; t < k; ++t) {
+            const IntervalStats stats =
+                core.run(gen, cfg.intervalInstr);
+            const auto &now = core.counters().raw();
+            for (size_t i = 0; i < now.size(); ++i)
+                delta_all[i] = now[i] - prev[i];
+            prev = now;
+            for (size_t j = 0; j < cfg.counterIds.size(); ++j)
+                sub_rows[t][j] = static_cast<float>(
+                    delta_all[cfg.counterIds[j]]);
+            sub_cycles[t] = static_cast<float>(stats.cycles);
+            adaptive.add(stats.instructions, stats.cycles,
+                         power.intervalEnergyNj(delta_all,
+                                                stats.cycles,
+                                                block_mode));
+        }
+
+        // Microcontroller inference for block b+2.
+        std::vector<const float *> row_ptrs;
+        for (size_t t = 0; t < k; ++t)
+            row_ptrs.push_back(sub_rows[t].data());
+        const bool gate =
+            predictor.decide(row_ptrs, sub_cycles, block_mode);
+        result.ucOps += predictor.opsPerInference();
+        ++result.numPredictions;
+        if (b + 2 < pending.size())
+            pending[b + 2] = gate ? 1 : 0;
+    }
+
+    // Reference (non-adaptive high-performance) totals.
+    PpwAccumulator high_only;
+    for (size_t b = 0; b < blocks; ++b) {
+        for (size_t t = b * k; t < (b + 1) * k; ++t) {
+            high_only.add(
+                cfg.intervalInstr,
+                static_cast<uint64_t>(reference.cyclesHigh[t]),
+                reference.energyHighNj[t]);
+        }
+    }
+
+    result.ppwGainPct =
+        high_only.ppw() > 0.0
+        ? (adaptive.ppw() / high_only.ppw() - 1.0) * 100.0
+        : 0.0;
+    result.perfRelativePct = adaptive.cycles()
+        ? static_cast<double>(high_only.cycles()) /
+            static_cast<double>(adaptive.cycles()) * 100.0
+        : 100.0;
+    result.lowResidency = static_cast<double>(low_blocks) /
+        static_cast<double>(blocks);
+    result.modeSwitches =
+        core.counters().value(Ctr::ModeSwitches);
+
+    for (size_t b = 0; b < blocks; ++b)
+        result.confusion.add(predictions[b] != 0, labels[b] != 0);
+    result.pgos = result.confusion.pgos();
+    const uint64_t window = sla.windowPredictions(
+        cfg.core.clockGhz * 1e9 *
+            static_cast<double>(cfg.core.retireWidth),
+        predictor.granularity());
+    result.rsv = rsvForTrace(predictions, labels, window);
+    return result;
+}
+
+} // namespace psca

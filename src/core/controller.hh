@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The closed adaptation loop (Figs. 1 and 3): during execution, the
+ * telemetry system snapshots counters every 10k instructions; at each
+ * prediction-granularity boundary the microcontroller runs the
+ * adaptation model appropriate to the current cluster configuration
+ * on the just-finished block's (cycle-normalized) counters, and the
+ * resulting decision is applied two blocks later — one full block of
+ * slack for transport and inference.
+ *
+ * Two predictor adapters cover the model families: DualModelPredictor
+ * wraps a pair of (scaler, model) for the high-perf/low-power
+ * telemetry distributions; SrchPredictor wraps the Dubach-style
+ * histogram models that consume the block's raw sub-interval rows.
+ */
+
+#ifndef PSCA_CORE_CONTROLLER_HH
+#define PSCA_CORE_CONTROLLER_HH
+
+#include <memory>
+#include <string>
+
+#include "core/builder.hh"
+#include "core/metrics.hh"
+#include "core/sla.hh"
+#include "ml/model.hh"
+#include "ml/srch.hh"
+
+namespace psca {
+
+/** Controller-facing decision interface. */
+class GatePredictor
+{
+  public:
+    virtual ~GatePredictor() = default;
+
+    /** Prediction granularity in instructions. */
+    virtual uint64_t granularity() const = 0;
+
+    /**
+     * Decide the configuration two blocks ahead.
+     *
+     * @param sub_rows Raw counter-delta rows of the finished block's
+     *        10k sub-intervals.
+     * @param sub_cycles Cycles of each sub-interval.
+     * @param mode Cluster configuration the block executed in.
+     * @return true to gate (low-power mode).
+     */
+    virtual bool decide(const std::vector<const float *> &sub_rows,
+                        const std::vector<float> &sub_cycles,
+                        CoreMode mode) = 0;
+
+    /** Firmware ops per prediction, for budget checking. */
+    virtual uint32_t opsPerInference() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** One mode's scaler+model slot. */
+struct ScaledModel
+{
+    FeatureScaler scaler;
+    std::shared_ptr<Model> model;
+};
+
+/**
+ * Standard dual-model predictor: per-mode z-scaled aggregate counters
+ * into a per-mode model (Sec. 4.1 trains one model per telemetry
+ * mode).
+ */
+class DualModelPredictor : public GatePredictor
+{
+  public:
+    /**
+     * @param columns Record-column indices forming the model inputs.
+     */
+    DualModelPredictor(ScaledModel high, ScaledModel low,
+                       std::vector<size_t> columns,
+                       uint64_t granularity, std::string name);
+
+    uint64_t granularity() const override { return granularity_; }
+    bool decide(const std::vector<const float *> &sub_rows,
+                const std::vector<float> &sub_cycles,
+                CoreMode mode) override;
+    uint32_t opsPerInference() const override;
+    std::string name() const override { return name_; }
+
+    const ScaledModel &highSlot() const { return high_; }
+    const ScaledModel &lowSlot() const { return low_; }
+
+  private:
+    ScaledModel high_;
+    ScaledModel low_;
+    std::vector<size_t> columns_;
+    uint64_t granularity_;
+    std::string name_;
+};
+
+/** SRCH predictor: per-mode histogram models on raw sub-rows. */
+class SrchPredictor : public GatePredictor
+{
+  public:
+    SrchPredictor(std::shared_ptr<SrchModel> high,
+                  std::shared_ptr<SrchModel> low,
+                  std::vector<size_t> columns, uint64_t granularity,
+                  std::string name);
+
+    uint64_t granularity() const override { return granularity_; }
+    bool decide(const std::vector<const float *> &sub_rows,
+                const std::vector<float> &sub_cycles,
+                CoreMode mode) override;
+    uint32_t opsPerInference() const override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::shared_ptr<SrchModel> high_;
+    std::shared_ptr<SrchModel> low_;
+    std::vector<size_t> columns_;
+    uint64_t granularity_;
+    std::string name_;
+};
+
+/** Outcome of one closed-loop adaptive run. */
+struct ClosedLoopResult
+{
+    /** PPW gain over the non-adaptive high-performance run, percent. */
+    double ppwGainPct = 0.0;
+    /** Average performance relative to high-perf mode, percent. */
+    double perfRelativePct = 100.0;
+    /** Fraction of blocks executed in low-power mode. */
+    double lowResidency = 0.0;
+    /** Offline-quality metrics of the predictions actually made. */
+    ConfusionCounts confusion;
+    double pgos = 0.0;
+    double rsv = 0.0;
+    uint64_t numPredictions = 0;
+    uint64_t modeSwitches = 0;
+    /** Microcontroller ops consumed by inference. */
+    uint64_t ucOps = 0;
+};
+
+/**
+ * Run one workload under predictive cluster gating.
+ *
+ * @param workload The trace to execute.
+ * @param reference Its dual-mode record (ground-truth labels and the
+ *        non-adaptive baseline for PPW).
+ * @param predictor The adaptation model pair.
+ * @param cfg Recording configuration (must match the reference).
+ * @param sla SLA used for labels and RSV windows.
+ */
+ClosedLoopResult runClosedLoop(const Workload &workload,
+                               const TraceRecord &reference,
+                               GatePredictor &predictor,
+                               const BuildConfig &cfg,
+                               const SlaSpec &sla);
+
+} // namespace psca
+
+#endif // PSCA_CORE_CONTROLLER_HH

@@ -1,0 +1,138 @@
+#include "core/crossval.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "math/stats.hh"
+
+namespace psca {
+
+FoldSplit
+appLevelSplit(const Dataset &data, double tune_fraction, uint64_t seed,
+              size_t max_tune_apps)
+{
+    std::vector<uint32_t> apps;
+    for (uint32_t id : data.appId)
+        if (std::find(apps.begin(), apps.end(), id) == apps.end())
+            apps.push_back(id);
+
+    Rng rng(seed ^ 0xf01d5ULL);
+    rng.shuffle(apps);
+
+    size_t tune_count = static_cast<size_t>(
+        tune_fraction * static_cast<double>(apps.size()) + 0.5);
+    tune_count = std::clamp<size_t>(tune_count, 1,
+                                    apps.size() > 1 ? apps.size() - 1
+                                                    : 1);
+    if (max_tune_apps > 0)
+        tune_count = std::min(tune_count, max_tune_apps);
+
+    std::vector<bool> is_tune_app;
+    std::map<uint32_t, bool> assignment;
+    for (size_t i = 0; i < apps.size(); ++i)
+        assignment[apps[i]] = i < tune_count;
+
+    FoldSplit split;
+    for (size_t i = 0; i < data.numSamples(); ++i) {
+        if (assignment[data.appId[i]])
+            split.tuneIdx.push_back(i);
+        else
+            split.validIdx.push_back(i);
+    }
+    return split;
+}
+
+EvalResult
+evaluateModel(const Model &model, const Dataset &data,
+              uint64_t rsv_window)
+{
+    EvalResult result;
+    // Group prediction/label sequences per trace for RSV.
+    std::map<uint32_t, std::pair<std::vector<uint8_t>,
+                                 std::vector<uint8_t>>> traces;
+    for (size_t i = 0; i < data.numSamples(); ++i) {
+        const bool pred = model.predict(data.row(i));
+        result.confusion.add(pred, data.y[i] != 0);
+        auto &entry = traces[data.traceId[i]];
+        entry.first.push_back(pred ? 1 : 0);
+        entry.second.push_back(data.y[i]);
+    }
+    result.pgos = result.confusion.pgos();
+
+    double rsv_sum = 0.0;
+    for (const auto &[id, seqs] : traces)
+        rsv_sum += rsvForTrace(seqs.first, seqs.second, rsv_window);
+    result.rsv = traces.empty()
+        ? 0.0
+        : rsv_sum / static_cast<double>(traces.size());
+    return result;
+}
+
+void
+calibrateThreshold(Model &model, const Dataset &tune,
+                   uint64_t rsv_window, double target_rsv)
+{
+    static const double kCandidates[] = {0.50, 0.55, 0.60, 0.65,
+                                         0.70, 0.75, 0.80, 0.85,
+                                         0.90, 0.95};
+    for (double t : kCandidates) {
+        model.setThreshold(t);
+        if (evaluateModel(model, tune, rsv_window).rsv <= target_rsv)
+            return;
+    }
+    // Even the most conservative candidate violates; keep it.
+    model.setThreshold(kCandidates[std::size(kCandidates) - 1]);
+}
+
+CrossValSummary
+crossValidate(const Dataset &data, const ModelFactory &factory,
+              const CrossValOptions &opts)
+{
+    CrossValSummary summary;
+    std::vector<double> pgos, rsv, acc;
+
+    for (int fold = 0; fold < opts.folds; ++fold) {
+        const uint64_t fold_seed =
+            mixSeeds(opts.seed, static_cast<uint64_t>(fold) + 1);
+        FoldSplit split = appLevelSplit(data, opts.tuneFraction,
+                                        fold_seed, opts.maxTuneApps);
+        if (split.tuneIdx.empty() || split.validIdx.empty())
+            continue;
+
+        if (opts.maxTuneSamples > 0 &&
+            split.tuneIdx.size() > opts.maxTuneSamples) {
+            Rng rng(fold_seed ^ 0x5ab5a3ULL);
+            rng.shuffle(split.tuneIdx);
+            split.tuneIdx.resize(opts.maxTuneSamples);
+        }
+
+        Dataset tune_raw = data.subset(split.tuneIdx);
+        const FeatureScaler scaler = FeatureScaler::fit(tune_raw);
+        const Dataset tune = scaler.apply(tune_raw);
+        const Dataset valid = scaler.apply(data.subset(split.validIdx));
+
+        std::unique_ptr<Model> model = factory(tune, fold_seed);
+        if (opts.calibrate) {
+            calibrateThreshold(*model, tune, opts.rsvWindow,
+                               opts.targetRsv);
+        }
+
+        const EvalResult eval =
+            evaluateModel(*model, valid, opts.rsvWindow);
+        summary.folds.push_back(eval);
+        pgos.push_back(eval.pgos);
+        rsv.push_back(eval.rsv);
+        acc.push_back(eval.confusion.accuracy());
+    }
+
+    summary.pgosMean = mean(pgos);
+    summary.pgosStd = stddev(pgos);
+    summary.rsvMean = mean(rsv);
+    summary.rsvStd = stddev(rsv);
+    summary.accuracyMean = mean(acc);
+    return summary;
+}
+
+} // namespace psca

@@ -1,0 +1,149 @@
+#include "core/firmware_image.hh"
+
+#include <algorithm>
+
+#include "common/serialize.hh"
+#include "ml/linear.hh"
+#include "ml/mlp.hh"
+#include "ml/tree.hh"
+#include "uc/compilers.hh"
+
+namespace psca {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x50534341465731ULL; // "PSCAFW1"
+
+void
+writeSlot(BinaryWriter &out, const FirmwareSlot &slot)
+{
+    out.putVector(slot.program.code);
+    out.putVector(slot.program.mem);
+    out.put(slot.program.numInputs);
+    out.putVector(slot.scaler.mean);
+    out.putVector(slot.scaler.invStd);
+    out.put(slot.threshold);
+}
+
+FirmwareSlot
+readSlot(BinaryReader &in)
+{
+    FirmwareSlot slot;
+    slot.program.code = in.getVector<UcInst>();
+    slot.program.mem = in.getVector<float>();
+    slot.program.numInputs = in.get<uint16_t>();
+    slot.scaler.mean = in.getVector<float>();
+    slot.scaler.invStd = in.getVector<float>();
+    slot.threshold = in.get<float>();
+    return slot;
+}
+
+/** Compile whichever supported model class the slot holds. */
+UcProgram
+compileAny(const Model &model)
+{
+    if (const auto *mlp = dynamic_cast<const MlpModel *>(&model))
+        return compileMlp(*mlp);
+    if (const auto *rf = dynamic_cast<const RandomForest *>(&model))
+        return compileForest(*rf);
+    if (const auto *lr =
+            dynamic_cast<const LogisticRegression *>(&model))
+        return compileLogistic(*lr);
+    fatal("no firmware compiler for model class '", model.describe(),
+          "'");
+}
+
+} // namespace
+
+void
+FirmwarePackage::save(const std::string &path) const
+{
+    BinaryWriter out(path);
+    out.put(kMagic);
+    out.putString(name);
+    out.put(granularityInstr);
+    out.putVector(columns);
+    writeSlot(out, high);
+    writeSlot(out, low);
+    PSCA_ASSERT(out.good(), "firmware image write failed");
+}
+
+FirmwarePackage
+FirmwarePackage::load(const std::string &path)
+{
+    BinaryReader in(path);
+    if (!in.good() || in.get<uint64_t>() != kMagic)
+        fatal("'", path, "' is not a psca firmware image");
+    FirmwarePackage pkg;
+    pkg.name = in.getString();
+    pkg.granularityInstr = in.get<uint64_t>();
+    pkg.columns = in.getVector<uint32_t>();
+    pkg.high = readSlot(in);
+    pkg.low = readSlot(in);
+    if (!in.good())
+        fatal("firmware image '", path, "' is truncated");
+    return pkg;
+}
+
+FirmwarePackage
+packageFromDual(const DualModelPredictor &predictor,
+                const std::vector<size_t> &columns)
+{
+    FirmwarePackage pkg;
+    pkg.name = predictor.name() + ".fw";
+    pkg.granularityInstr = predictor.granularity();
+    for (size_t c : columns)
+        pkg.columns.push_back(static_cast<uint32_t>(c));
+
+    pkg.high.program = compileAny(*predictor.highSlot().model);
+    pkg.high.scaler = predictor.highSlot().scaler;
+    pkg.high.threshold =
+        static_cast<float>(predictor.highSlot().model->threshold());
+    pkg.low.program = compileAny(*predictor.lowSlot().model);
+    pkg.low.scaler = predictor.lowSlot().scaler;
+    pkg.low.threshold =
+        static_cast<float>(predictor.lowSlot().model->threshold());
+    return pkg;
+}
+
+VmPredictor::VmPredictor(FirmwarePackage package)
+    : package_(std::move(package))
+{}
+
+uint32_t
+VmPredictor::opsPerInference() const
+{
+    return static_cast<uint32_t>(
+        std::max(package_.high.program.staticOpCount(),
+                 package_.low.program.staticOpCount()));
+}
+
+bool
+VmPredictor::decide(const std::vector<const float *> &sub_rows,
+                    const std::vector<float> &sub_cycles,
+                    CoreMode mode)
+{
+    // Aggregate + cycle-normalize the block, as the telemetry
+    // convergence point does before handing data to firmware.
+    std::vector<float> agg(package_.columns.size(), 0.0f);
+    double cycles = 0.0;
+    for (size_t t = 0; t < sub_rows.size(); ++t) {
+        for (size_t j = 0; j < agg.size(); ++j)
+            agg[j] += sub_rows[t][package_.columns[j]];
+        cycles += sub_cycles[t];
+    }
+    const float inv =
+        cycles > 0.0 ? static_cast<float>(1.0 / cycles) : 0.0f;
+    for (auto &v : agg)
+        v *= inv;
+
+    const FirmwareSlot &slot =
+        mode == CoreMode::HighPerf ? package_.high : package_.low;
+    std::vector<float> scaled(agg.size());
+    slot.scaler.applyRow(agg.data(), scaled.data());
+    const double score =
+        vm_.run(slot.program, scaled.data(), scaled.size());
+    return score >= slot.threshold;
+}
+
+} // namespace psca

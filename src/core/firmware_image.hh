@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The deployable firmware package: what a post-silicon update ships
+ * (Sec. 3.2 — adaptation behaviour changes with "the ease of a
+ * firmware update", pushed through ordinary datacenter infrastructure
+ * management). A package carries, per telemetry mode, the compiled
+ * branch-free program, the feature scaler, the record-column map, the
+ * decision threshold, and the prediction granularity.
+ *
+ * VmPredictor executes a loaded package through the firmware VM, so
+ * the controller's decisions come from exactly the bytes that would
+ * be flashed — closing the loop from training to deployment.
+ */
+
+#ifndef PSCA_CORE_FIRMWARE_IMAGE_HH
+#define PSCA_CORE_FIRMWARE_IMAGE_HH
+
+#include <string>
+
+#include "core/controller.hh"
+#include "uc/vm.hh"
+
+namespace psca {
+
+/** One mode's firmware slot. */
+struct FirmwareSlot
+{
+    UcProgram program;
+    FeatureScaler scaler;
+    float threshold = 0.5f;
+};
+
+/** A complete deployable adaptation firmware package. */
+struct FirmwarePackage
+{
+    std::string name;
+    uint64_t granularityInstr = 40000;
+    /** Record columns feeding the model, in input order. */
+    std::vector<uint32_t> columns;
+    FirmwareSlot high;
+    FirmwareSlot low;
+
+    /** Serialize to a flashable file. */
+    void save(const std::string &path) const;
+
+    /** Load a package; fatal on malformed images. */
+    static FirmwarePackage load(const std::string &path);
+};
+
+/**
+ * Build a package from a trained dual predictor by compiling both
+ * models (supported model classes: MLP, random forest, logistic
+ * regression).
+ */
+FirmwarePackage packageFromDual(const DualModelPredictor &predictor,
+                                const std::vector<size_t> &columns);
+
+/** Runs a loaded firmware package through the VM. */
+class VmPredictor : public GatePredictor
+{
+  public:
+    explicit VmPredictor(FirmwarePackage package);
+
+    uint64_t granularity() const override
+    {
+        return package_.granularityInstr;
+    }
+    bool decide(const std::vector<const float *> &sub_rows,
+                const std::vector<float> &sub_cycles,
+                CoreMode mode) override;
+    uint32_t opsPerInference() const override;
+    std::string name() const override { return package_.name; }
+
+    /** Cumulative microcontroller ops actually executed. */
+    uint64_t vmOpsExecuted() const { return vm_.totalOps(); }
+
+  private:
+    FirmwarePackage package_;
+    UcVm vm_;
+};
+
+} // namespace psca
+
+#endif // PSCA_CORE_FIRMWARE_IMAGE_HH

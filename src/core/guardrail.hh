@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fail-safe guardrail (Sec. 3.1 mentions that the production design
+ * carries one; the paper evaluates without it so that model quality
+ * is visible — we implement it as an optional wrapper so both
+ * configurations can be measured).
+ *
+ * The guardrail is deliberately model-free: it compares the IPC
+ * observed while gated against a reactive estimate of what
+ * high-performance mode would deliver (the IPC last seen in high
+ * mode, decayed), and when the shortfall persists it forces
+ * high-performance mode for a hold-off period regardless of the
+ * model's predictions. This bounds the damage of any blindspot at
+ * the cost of some PPW (the reactive estimate is itself imperfect).
+ */
+
+#ifndef PSCA_CORE_GUARDRAIL_HH
+#define PSCA_CORE_GUARDRAIL_HH
+
+#include <memory>
+
+#include "core/controller.hh"
+
+namespace psca {
+
+/** Guardrail tuning. */
+struct GuardrailConfig
+{
+    /** Trip when gated IPC falls below this fraction of the
+     *  high-mode reference estimate. */
+    double tripRatio = 0.88;
+    /** Consecutive violating blocks before tripping. */
+    int patience = 1;
+    /** Blocks to force high-performance mode after a trip. */
+    int holdoffBlocks = 6;
+    /** Decay of the high-mode IPC reference per gated block. */
+    double referenceDecay = 0.995;
+};
+
+/**
+ * Wraps any GatePredictor with the fail-safe. The wrapper observes
+ * per-block IPC through the sub-interval cycles the controller
+ * already forwards, maintains the reactive high-mode reference, and
+ * vetoes gate decisions while tripped.
+ */
+class GuardrailedPredictor : public GatePredictor
+{
+  public:
+    GuardrailedPredictor(GatePredictor &inner,
+                         const GuardrailConfig &cfg = GuardrailConfig{});
+
+    uint64_t granularity() const override;
+    bool decide(const std::vector<const float *> &sub_rows,
+                const std::vector<float> &sub_cycles,
+                CoreMode mode) override;
+    uint32_t opsPerInference() const override;
+    std::string name() const override;
+
+    /** Times the guardrail forced high-performance mode. */
+    uint64_t trips() const { return trips_; }
+
+  private:
+    GatePredictor &inner_;
+    GuardrailConfig cfg_;
+    double highIpcRef_ = 0.0;
+    int violationStreak_ = 0;
+    int holdoffRemaining_ = 0;
+    uint64_t trips_ = 0;
+};
+
+} // namespace psca
+
+#endif // PSCA_CORE_GUARDRAIL_HH

@@ -1,0 +1,58 @@
+#include "core/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace psca {
+
+double
+rsvForTrace(const std::vector<uint8_t> &predictions,
+            const std::vector<uint8_t> &labels, uint64_t window)
+{
+    PSCA_ASSERT(predictions.size() == labels.size(),
+                "prediction/label length mismatch");
+    const size_t n = predictions.size();
+    if (n == 0)
+        return 0.0;
+    const size_t w = static_cast<size_t>(
+        std::min<uint64_t>(window, n));
+
+    // Prefix sums of the false-positive indicator
+    // (1{pred != label} * (1 - label), Eq. 2).
+    std::vector<uint32_t> prefix(n + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const bool fp = predictions[i] != labels[i] && labels[i] == 0;
+        prefix[i + 1] = prefix[i] + (fp ? 1 : 0);
+    }
+
+    size_t violating = 0;
+    size_t windows = 0;
+    for (size_t start = 0; start + w <= n; ++start) {
+        const double expectation =
+            static_cast<double>(prefix[start + w] - prefix[start]) /
+            static_cast<double>(w);
+        violating += expectation > 0.5 ? 1 : 0;
+        ++windows;
+    }
+    return windows ? static_cast<double>(violating) /
+            static_cast<double>(windows)
+                   : 0.0;
+}
+
+double
+rsvOverTraces(const std::vector<std::vector<uint8_t>> &predictions,
+              const std::vector<std::vector<uint8_t>> &labels,
+              uint64_t window)
+{
+    PSCA_ASSERT(predictions.size() == labels.size(),
+                "trace count mismatch");
+    if (predictions.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t t = 0; t < predictions.size(); ++t)
+        sum += rsvForTrace(predictions[t], labels[t], window);
+    return sum / static_cast<double>(predictions.size());
+}
+
+} // namespace psca

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The paper's prediction-quality metrics (Sec. 4.2): the confusion
+ * taxonomy (true/false positives with "positive" = gate / low-power),
+ * PGOS (percentage of gating opportunities seized, Eq. 1), and RSV
+ * (rate of SLA violations, Eqs. 2-4) computed over sliding windows of
+ * W predictions per trace.
+ */
+
+#ifndef PSCA_CORE_METRICS_HH
+#define PSCA_CORE_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace psca {
+
+/** Confusion counts for gate (positive) vs no-gate decisions. */
+struct ConfusionCounts
+{
+    uint64_t truePositive = 0;  //!< gated, correctly
+    uint64_t falsePositive = 0; //!< gated when it should not have
+    uint64_t trueNegative = 0;  //!< stayed wide, correctly
+    uint64_t falseNegative = 0; //!< missed a gating opportunity
+
+    void
+    add(bool predicted_gate, bool truth_gate)
+    {
+        if (predicted_gate && truth_gate)
+            ++truePositive;
+        else if (predicted_gate && !truth_gate)
+            ++falsePositive;
+        else if (!predicted_gate && !truth_gate)
+            ++trueNegative;
+        else
+            ++falseNegative;
+    }
+
+    uint64_t
+    total() const
+    {
+        return truePositive + falsePositive + trueNegative +
+            falseNegative;
+    }
+
+    /** PGOS / recall (Eq. 1); 1.0 when there are no opportunities. */
+    double
+    pgos() const
+    {
+        const uint64_t opportunities = truePositive + falseNegative;
+        return opportunities
+            ? static_cast<double>(truePositive) /
+                static_cast<double>(opportunities)
+            : 1.0;
+    }
+
+    /** Overall accuracy. */
+    double
+    accuracy() const
+    {
+        const uint64_t t = total();
+        return t ? static_cast<double>(truePositive + trueNegative) /
+                static_cast<double>(t)
+                 : 1.0;
+    }
+
+    void
+    merge(const ConfusionCounts &o)
+    {
+        truePositive += o.truePositive;
+        falsePositive += o.falsePositive;
+        trueNegative += o.trueNegative;
+        falseNegative += o.falseNegative;
+    }
+};
+
+/**
+ * RSV (Eqs. 2-4): slide a window of W predictions across each
+ * trace's prediction/label sequence; a window "violates" when the
+ * expected false-positive indicator exceeds 0.5; RSV is the violating
+ * fraction of windows.
+ *
+ * @param predictions Per-interval gate decisions of one trace.
+ * @param labels Ground-truth gate labels, same length.
+ * @param window W, from SlaSpec::windowPredictions().
+ */
+double rsvForTrace(const std::vector<uint8_t> &predictions,
+                   const std::vector<uint8_t> &labels, uint64_t window);
+
+/** Mean RSV across traces (each trace contributes one RSV value). */
+double rsvOverTraces(
+    const std::vector<std::vector<uint8_t>> &predictions,
+    const std::vector<std::vector<uint8_t>> &labels, uint64_t window);
+
+} // namespace psca
+
+#endif // PSCA_CORE_METRICS_HH

@@ -1,0 +1,407 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+
+namespace psca {
+
+std::vector<uint16_t>
+charstarCounterIds()
+{
+    // The Eyerman-et-al.-style expert counter set of Sec. 7: three
+    // CHARSTAR counters are tile-gating specific, so the paper (and
+    // we) substitute general CPI-stack counters.
+    static const char *const names[] = {
+        "Branch Mispredictions",
+        "Instruction Cache Misses",
+        "L1 Data Cache Misses",
+        "L2 Cache Misses",
+        "Instructions Retired", // IPC once cycle-normalized
+        "I-TLB Misses",
+        "D-TLB Misses",
+        "Stall Count",
+    };
+    const auto &reg = CounterRegistry::instance();
+    std::vector<uint16_t> ids;
+    for (const char *name : names)
+        ids.push_back(reg.indexOf(name));
+    return ids;
+}
+
+std::vector<size_t>
+CounterPlan::pfColumns(size_t r) const
+{
+    PSCA_ASSERT(r <= pfRanked.size(), "not enough PF counters ranked");
+    std::vector<size_t> cols;
+    for (size_t i = 0; i < r; ++i)
+        cols.push_back(columnOf(pfRanked[i]));
+    return cols;
+}
+
+std::vector<size_t>
+CounterPlan::charstarColumns() const
+{
+    std::vector<size_t> cols;
+    for (uint16_t id : charstarCounterIds())
+        cols.push_back(columnOf(id));
+    return cols;
+}
+
+size_t
+CounterPlan::columnOf(uint16_t id) const
+{
+    for (size_t j = 0; j < recordIds.size(); ++j)
+        if (recordIds[j] == id)
+            return j;
+    fatal("counter id ", id, " not in the record plan");
+}
+
+CounterPlan
+makeCounterPlan(const std::vector<uint16_t> &pf_ranked)
+{
+    CounterPlan plan;
+    plan.pfRanked = pf_ranked;
+    plan.recordIds = pf_ranked;
+    for (uint16_t id : charstarCounterIds()) {
+        if (std::find(plan.recordIds.begin(), plan.recordIds.end(),
+                      id) == plan.recordIds.end())
+            plan.recordIds.push_back(id);
+    }
+    return plan;
+}
+
+std::vector<uint16_t>
+runPfSelectionPass(const ScaleConfig &scale, const PfConfig &pf_cfg)
+{
+    // Record all 936 counters on a category-diverse app subset.
+    const auto apps = buildHdtrApps(scale.pfApps);
+    std::vector<Workload> workloads;
+    std::vector<uint32_t> app_ids;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        Workload w;
+        w.genome = apps[a];
+        w.inputSeed = 1;
+        w.traceIndex = 0;
+        w.lengthInstr = scale.pfTraceLen;
+        w.name = apps[a].name + ".pf";
+        workloads.push_back(std::move(w));
+        app_ids.push_back(static_cast<uint32_t>(a));
+    }
+
+    BuildConfig cfg;
+    cfg.counterIds.resize(kNumTelemetryCounters);
+    for (size_t i = 0; i < kNumTelemetryCounters; ++i)
+        cfg.counterIds[i] = static_cast<uint16_t>(i);
+
+    const auto records = recordCorpus(workloads, app_ids, cfg, "pf936");
+    const PfResult result =
+        pfCounterSelection(records, pf_cfg, CoreMode::LowPower);
+    inform("PF selection: ", kNumTelemetryCounters, " -> ",
+           result.afterActivityScreen, " (activity) -> ",
+           result.survivors.size(), " (stddev) -> ranked ",
+           result.selected.size());
+    return result.selected;
+}
+
+ExperimentContext
+setupExperiment(const ScaleConfig &scale, bool need_spec)
+{
+    ExperimentContext ctx;
+    ctx.scale = scale;
+
+    PfConfig pf_cfg;
+    ctx.plan = makeCounterPlan(runPfSelectionPass(scale, pf_cfg));
+
+    ctx.build.counterIds = ctx.plan.recordIds;
+
+    // HDTR corpus.
+    const auto apps = buildHdtrApps(scale.hdtrApps);
+    std::vector<Workload> workloads;
+    std::vector<uint32_t> app_ids;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const int traces = std::min(hdtrTraceCount(apps[a]),
+                                    scale.hdtrTracesPerApp);
+        for (int t = 0; t < traces; ++t) {
+            Workload w;
+            w.genome = apps[a];
+            w.inputSeed = 1;
+            w.traceIndex = static_cast<uint64_t>(t);
+            w.lengthInstr = scale.hdtrTraceLen;
+            w.name = apps[a].name + ".t" + std::to_string(t);
+            workloads.push_back(std::move(w));
+            app_ids.push_back(static_cast<uint32_t>(a));
+        }
+    }
+    ctx.hdtr = recordCorpus(workloads, app_ids, ctx.build, "hdtr");
+
+    if (need_spec) {
+        ctx.specApps = buildSpecApps();
+        std::vector<uint32_t> spec_app_ids;
+        for (size_t a = 0; a < ctx.specApps.size(); ++a) {
+            auto traces = specWorkloads(ctx.specApps[a],
+                                        scale.specTraceLen,
+                                        scale.specTracesPerWorkload);
+            for (auto &w : traces) {
+                ctx.specWorkloadsList.push_back(w);
+                spec_app_ids.push_back(static_cast<uint32_t>(a));
+            }
+        }
+        ctx.spec = recordCorpus(ctx.specWorkloadsList, spec_app_ids,
+                                ctx.build, "spec");
+    }
+    return ctx;
+}
+
+TrainedDual
+trainDual(const std::vector<TraceRecord> &records,
+          const BuildConfig &build, const DualTrainOptions &opts,
+          const ModelFactory &factory)
+{
+    TrainedDual dual;
+    for (int m = 0; m < 2; ++m) {
+        const CoreMode mode =
+            m == 0 ? CoreMode::HighPerf : CoreMode::LowPower;
+        AssemblyOptions asm_opts;
+        asm_opts.granularityInstr = opts.granularityInstr;
+        asm_opts.pSla = opts.pSla;
+        asm_opts.telemetryMode = mode;
+        asm_opts.columns = opts.columns;
+        const Dataset raw =
+            assembleDataset(records, asm_opts, build.intervalInstr);
+
+        ScaledModel slot;
+        slot.scaler = FeatureScaler::fit(raw);
+        const Dataset scaled = slot.scaler.apply(raw);
+        slot.model = factory(scaled,
+                             mixSeeds(opts.seed,
+                                      static_cast<uint64_t>(m) + 1));
+        if (opts.calibrate) {
+            calibrateThreshold(*slot.model, scaled, opts.rsvWindow,
+                               opts.targetRsv);
+        }
+        (m == 0 ? dual.high : dual.low) = std::move(slot);
+    }
+    return dual;
+}
+
+namespace {
+
+/** RSV window for a granularity at this core's peak throughput. */
+uint64_t
+rsvWindowFor(const ExperimentContext &ctx, uint64_t granularity)
+{
+    const double peak_ips = ctx.build.core.clockGhz * 1e9 *
+        static_cast<double>(ctx.build.core.retireWidth);
+    return ctx.sla.windowPredictions(peak_ips, granularity);
+}
+
+NamedPredictor
+wrapDual(std::string name, TrainedDual dual,
+         std::vector<size_t> columns, uint64_t granularity)
+{
+    NamedPredictor np;
+    np.name = name;
+    np.predictor = std::make_unique<DualModelPredictor>(
+        std::move(dual.high), std::move(dual.low), std::move(columns),
+        granularity, std::move(name));
+    return np;
+}
+
+} // namespace
+
+NamedPredictor
+makeBestRf(const ExperimentContext &ctx, double p_sla, uint64_t seed)
+{
+    DualTrainOptions opts;
+    opts.granularityInstr = 40000;
+    opts.pSla = p_sla;
+    opts.columns = ctx.plan.pfColumns(12);
+    opts.rsvWindow = rsvWindowFor(ctx, opts.granularityInstr);
+    opts.seed = seed;
+
+    TrainedDual dual = trainDual(
+        ctx.hdtr, ctx.build, opts,
+        [](const Dataset &tune, uint64_t s) -> std::unique_ptr<Model> {
+            ForestConfig fc;
+            fc.numTrees = 8;
+            fc.maxDepth = 8;
+            fc.seed = s;
+            return std::make_unique<RandomForest>(tune, fc);
+        });
+    return wrapDual("Best RF", std::move(dual), opts.columns,
+                    opts.granularityInstr);
+}
+
+NamedPredictor
+makeBestMlp(const ExperimentContext &ctx, double p_sla, uint64_t seed)
+{
+    DualTrainOptions opts;
+    opts.granularityInstr = 50000;
+    opts.pSla = p_sla;
+    opts.columns = ctx.plan.pfColumns(12);
+    opts.rsvWindow = rsvWindowFor(ctx, opts.granularityInstr);
+    opts.seed = seed;
+
+    const int epochs = ctx.scale.mlpEpochs;
+    TrainedDual dual = trainDual(
+        ctx.hdtr, ctx.build, opts,
+        [epochs](const Dataset &tune,
+                 uint64_t s) -> std::unique_ptr<Model> {
+            MlpConfig mc;
+            mc.hiddenLayers = {8, 8, 4};
+            mc.epochs = epochs;
+            mc.seed = s;
+            return trainMlp(tune, mc);
+        });
+    return wrapDual("Best MLP", std::move(dual), opts.columns,
+                    opts.granularityInstr);
+}
+
+NamedPredictor
+makeCharstar(const ExperimentContext &ctx, double p_sla, uint64_t seed)
+{
+    DualTrainOptions opts;
+    opts.granularityInstr = 20000;
+    opts.pSla = p_sla;
+    opts.columns = ctx.plan.charstarColumns();
+    opts.rsvWindow = rsvWindowFor(ctx, opts.granularityInstr);
+    opts.seed = seed;
+    // CHARSTAR predates the blindspot work: no sensitivity
+    // calibration beyond the default threshold.
+    opts.calibrate = false;
+
+    const int epochs = ctx.scale.mlpEpochs;
+    TrainedDual dual = trainDual(
+        ctx.hdtr, ctx.build, opts,
+        [epochs](const Dataset &tune,
+                 uint64_t s) -> std::unique_ptr<Model> {
+            MlpConfig mc;
+            mc.hiddenLayers = {10};
+            mc.epochs = epochs;
+            mc.seed = s;
+            return trainMlp(tune, mc);
+        });
+    return wrapDual("CHARSTAR MLP", std::move(dual), opts.columns,
+                    opts.granularityInstr);
+}
+
+NamedPredictor
+makeSrch(const ExperimentContext &ctx, double p_sla,
+         uint64_t granularity, uint64_t seed)
+{
+    const std::vector<size_t> columns = ctx.plan.pfColumns(
+        std::min<size_t>(15, ctx.plan.pfRanked.size()));
+    const int window = static_cast<int>(
+        granularity / ctx.build.intervalInstr);
+
+    std::shared_ptr<SrchModel> models[2];
+    for (int m = 0; m < 2; ++m) {
+        const CoreMode mode =
+            m == 0 ? CoreMode::HighPerf : CoreMode::LowPower;
+        AssemblyOptions asm_opts;
+        asm_opts.granularityInstr = ctx.build.intervalInstr;
+        asm_opts.pSla = p_sla;
+        asm_opts.telemetryMode = mode;
+        asm_opts.columns = columns;
+        const Dataset per_interval =
+            assembleDataset(ctx.hdtr, asm_opts,
+                            ctx.build.intervalInstr);
+        LogRegConfig lr;
+        models[m] =
+            std::make_shared<SrchModel>(per_interval, window, lr);
+        (void)seed;
+    }
+
+    NamedPredictor np;
+    np.name = "SRCH@" + std::to_string(granularity / 1000) + "k";
+    np.predictor = std::make_unique<SrchPredictor>(
+        models[0], models[1], columns, granularity, np.name);
+    return np;
+}
+
+SuiteResult
+evaluateSuite(const ExperimentContext &ctx, GatePredictor &predictor,
+              const std::vector<size_t> &trace_indices, double p_sla)
+{
+    SuiteResult suite;
+    SlaSpec sla = ctx.sla;
+    sla.pSla = p_sla;
+
+    double ppw = 0.0, rsv = 0.0, pgos = 0.0, perf = 0.0, res = 0.0;
+    for (size_t idx : trace_indices) {
+        ClosedLoopResult r = runClosedLoop(
+            ctx.specWorkloadsList[idx], ctx.spec[idx], predictor,
+            ctx.build, sla);
+        ppw += r.ppwGainPct;
+        rsv += r.rsv * 100.0;
+        pgos += r.pgos * 100.0;
+        perf += r.perfRelativePct;
+        res += r.lowResidency * 100.0;
+        suite.perTrace.push_back(std::move(r));
+    }
+    const double n =
+        std::max<double>(1.0, static_cast<double>(trace_indices.size()));
+    suite.ppwGainPct = ppw / n;
+    suite.rsvPct = rsv / n;
+    suite.pgosPct = pgos / n;
+    suite.perfRelativePct = perf / n;
+    suite.lowResidencyPct = res / n;
+    return suite;
+}
+
+NamedPredictor
+makeAppSpecificRf(const ExperimentContext &ctx,
+                  const std::vector<TraceRecord> &app, double p_sla,
+                  uint64_t seed)
+{
+    DualTrainOptions opts;
+    opts.granularityInstr = 40000;
+    opts.pSla = p_sla;
+    opts.columns = ctx.plan.pfColumns(12);
+    opts.rsvWindow = rsvWindowFor(ctx, opts.granularityInstr);
+    opts.seed = seed;
+
+    TrainedDual dual;
+    for (int m = 0; m < 2; ++m) {
+        const CoreMode mode =
+            m == 0 ? CoreMode::HighPerf : CoreMode::LowPower;
+        AssemblyOptions asm_opts;
+        asm_opts.granularityInstr = opts.granularityInstr;
+        asm_opts.pSla = p_sla;
+        asm_opts.telemetryMode = mode;
+        asm_opts.columns = opts.columns;
+
+        const Dataset general_raw =
+            assembleDataset(ctx.hdtr, asm_opts, ctx.build.intervalInstr);
+        const Dataset app_raw =
+            assembleDataset(app, asm_opts, ctx.build.intervalInstr);
+
+        ScaledModel slot;
+        slot.scaler = FeatureScaler::fit(general_raw);
+        const Dataset general = slot.scaler.apply(general_raw);
+        const Dataset app_scaled = slot.scaler.apply(app_raw);
+
+        // 4 general trees + 4 app-specific trees = the Sec. 7.3
+        // combined Best RF (8 trees, depth 8).
+        ForestConfig fc;
+        fc.numTrees = 4;
+        fc.maxDepth = 8;
+        fc.seed = mixSeeds(seed, static_cast<uint64_t>(m) * 2 + 1);
+        RandomForest general_rf(general, fc);
+        fc.seed = mixSeeds(seed, static_cast<uint64_t>(m) * 2 + 2);
+        RandomForest app_rf(app_scaled, fc);
+
+        auto trees = general_rf.takeTrees();
+        auto app_trees = app_rf.takeTrees();
+        for (auto &t : app_trees)
+            trees.push_back(std::move(t));
+        auto merged = std::make_shared<RandomForest>(std::move(trees));
+        calibrateThreshold(*merged, app_scaled, opts.rsvWindow,
+                           opts.targetRsv);
+        slot.model = std::move(merged);
+        (m == 0 ? dual.high : dual.low) = std::move(slot);
+    }
+    return wrapDual("App-Specific RF", std::move(dual), opts.columns,
+                    opts.granularityInstr);
+}
+
+} // namespace psca

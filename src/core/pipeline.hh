@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end training pipeline: the standard counter plans (PF-ranked
+ * and the Eyerman-style expert set used by CHARSTAR), dual-mode model
+ * training with sensitivity calibration, the five evaluation
+ * predictors of Sec. 7 (SRCH at 10M and 40k, the CHARSTAR-equivalent
+ * MLP at 20k, Best MLP at 50k, Best RF at 40k), and the post-silicon
+ * customization flows of Sec. 7.3 (SLA relabel-and-retrain and
+ * app-specific forest merging).
+ */
+
+#ifndef PSCA_CORE_PIPELINE_HH
+#define PSCA_CORE_PIPELINE_HH
+
+#include <memory>
+
+#include "core/builder.hh"
+#include "core/controller.hh"
+#include "core/crossval.hh"
+#include "core/pf_selection.hh"
+#include "core/scale.hh"
+#include "ml/mlp.hh"
+#include "ml/tree.hh"
+
+namespace psca {
+
+/** The 8 expert counters used by the CHARSTAR-equivalent baseline. */
+std::vector<uint16_t> charstarCounterIds();
+
+/**
+ * Counter layout of the main recordings: the PF ranking's top
+ * counters followed by any expert counters not already present.
+ */
+struct CounterPlan
+{
+    /** Registry ids recorded per interval, in column order. */
+    std::vector<uint16_t> recordIds;
+    /** PF-ranked registry ids (subset of recordIds). */
+    std::vector<uint16_t> pfRanked;
+
+    /** Columns of the top-r PF counters. */
+    std::vector<size_t> pfColumns(size_t r) const;
+    /** Columns of the CHARSTAR expert counters. */
+    std::vector<size_t> charstarColumns() const;
+    /** Column of one registry id (fatal if absent). */
+    size_t columnOf(uint16_t id) const;
+};
+
+/** Build the plan from a PF ranking. */
+CounterPlan makeCounterPlan(const std::vector<uint16_t> &pf_ranked);
+
+/**
+ * Run (or load from cache) the full 936-counter PF recording pass on
+ * a subset of HDTR applications and return the ranked counters.
+ */
+std::vector<uint16_t> runPfSelectionPass(const ScaleConfig &scale,
+                                         const PfConfig &pf_cfg);
+
+/** Everything the standard experiments need from one setup call. */
+struct ExperimentContext
+{
+    ScaleConfig scale;
+    BuildConfig build;           //!< recording config (plan counters)
+    CounterPlan plan;
+    SlaSpec sla;
+    std::vector<TraceRecord> hdtr;
+    std::vector<TraceRecord> spec;
+    std::vector<SpecApp> specApps;
+    std::vector<Workload> specWorkloadsList; //!< parallel to spec
+};
+
+/**
+ * One-stop setup: PF pass, counter plan, HDTR + SPEC recordings (all
+ * disk-cached). Every bench binary starts here.
+ *
+ * @param need_spec Also record the SPEC test corpus.
+ */
+ExperimentContext setupExperiment(const ScaleConfig &scale,
+                                  bool need_spec = true);
+
+/** Options for dual-mode model training. */
+struct DualTrainOptions
+{
+    uint64_t granularityInstr = 40000;
+    double pSla = 0.90;
+    std::vector<size_t> columns;
+    bool calibrate = true;
+    double targetRsv = 0.01;
+    uint64_t rsvWindow = 1600;
+    uint64_t seed = 1;
+};
+
+/** Train one scaler+model pair per telemetry mode. */
+struct TrainedDual
+{
+    ScaledModel high;
+    ScaledModel low;
+};
+
+TrainedDual trainDual(const std::vector<TraceRecord> &records,
+                      const BuildConfig &build,
+                      const DualTrainOptions &opts,
+                      const ModelFactory &factory);
+
+/** Named predictor bundle for the evaluation benches. */
+struct NamedPredictor
+{
+    std::string name;
+    std::unique_ptr<GatePredictor> predictor;
+};
+
+/** Best RF (8 trees depth 8, PF-12 counters, 40k interval). */
+NamedPredictor makeBestRf(const ExperimentContext &ctx, double p_sla,
+                          uint64_t seed = 11);
+
+/** Best MLP (3 layers 8/8/4, PF-12 counters, 50k interval). */
+NamedPredictor makeBestMlp(const ExperimentContext &ctx, double p_sla,
+                           uint64_t seed = 12);
+
+/** CHARSTAR-equivalent (1 layer, 10 filters, expert-8, 20k). */
+NamedPredictor makeCharstar(const ExperimentContext &ctx, double p_sla,
+                            uint64_t seed = 13);
+
+/** SRCH (PF-15 counters, 10-bucket histograms) at a granularity. */
+NamedPredictor makeSrch(const ExperimentContext &ctx, double p_sla,
+                        uint64_t granularity, uint64_t seed = 14);
+
+/** Aggregate closed-loop results over a set of traces. */
+struct SuiteResult
+{
+    double ppwGainPct = 0.0;
+    double rsvPct = 0.0;
+    double pgosPct = 0.0;
+    double perfRelativePct = 0.0;
+    double lowResidencyPct = 0.0;
+    std::vector<ClosedLoopResult> perTrace;
+};
+
+/**
+ * Evaluate one predictor closed-loop across traces; aggregates are
+ * unweighted means across traces, as in the paper's suite averages.
+ */
+SuiteResult evaluateSuite(const ExperimentContext &ctx,
+                          GatePredictor &predictor,
+                          const std::vector<size_t> &trace_indices,
+                          double p_sla);
+
+/**
+ * Post-silicon app-specific retraining (Sec. 7.3): combine a 4-tree
+ * forest trained on HDTR with a 4-tree forest trained on the target
+ * application's other workloads.
+ */
+NamedPredictor makeAppSpecificRf(const ExperimentContext &ctx,
+                                 const std::vector<TraceRecord> &app,
+                                 double p_sla, uint64_t seed = 15);
+
+} // namespace psca
+
+#endif // PSCA_CORE_PIPELINE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment scale knobs. The paper's corpora (2,648 traces averaging
+ * 5M instructions, 571 SimPoints of 200M instructions) are reduced by
+ * default so the full bench suite runs in minutes on one core; set
+ * PSCA_SCALE=full for long runs or PSCA_SCALE=quick for smoke tests.
+ * The structure (app counts, category mix, label pipeline) never
+ * changes — only trace lengths, trace counts, fold counts, and
+ * training epochs.
+ */
+
+#ifndef PSCA_CORE_SCALE_HH
+#define PSCA_CORE_SCALE_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace psca {
+
+/** Scale parameters shared by tests and benches. */
+struct ScaleConfig
+{
+    int hdtrApps = 593;
+    int hdtrTracesPerApp = 2;      //!< cap (paper averages ~4.5)
+    uint64_t hdtrTraceLen = 700000;
+    uint64_t specTraceLen = 1200000;
+    int specTracesPerWorkload = 1; //!< SimPoints per workload
+    int pfApps = 48;               //!< apps in the 936-counter pass
+    uint64_t pfTraceLen = 150000;
+    int folds = 8;                 //!< paper: 32
+    int mlpEpochs = 12;
+    size_t maxTuneSamples = 6000;  //!< 0 = unlimited
+
+    /** Resolve from $PSCA_SCALE (quick | default | full). */
+    static ScaleConfig
+    fromEnv()
+    {
+        const char *env = std::getenv("PSCA_SCALE");
+        const std::string scale = env ? env : "default";
+        ScaleConfig cfg;
+        if (scale == "quick") {
+            cfg.hdtrApps = 140;
+            cfg.hdtrTracesPerApp = 1;
+            cfg.hdtrTraceLen = 400000;
+            cfg.specTraceLen = 600000;
+            cfg.pfApps = 24;
+            cfg.pfTraceLen = 100000;
+            cfg.folds = 4;
+            cfg.mlpEpochs = 8;
+            cfg.maxTuneSamples = 3000;
+        } else if (scale == "full") {
+            cfg.hdtrTracesPerApp = 4;
+            cfg.hdtrTraceLen = 2000000;
+            cfg.specTraceLen = 3000000;
+            cfg.specTracesPerWorkload = 3;
+            cfg.pfApps = 96;
+            cfg.pfTraceLen = 300000;
+            cfg.folds = 32;
+            cfg.mlpEpochs = 30;
+            cfg.maxTuneSamples = 0;
+        }
+        return cfg;
+    }
+};
+
+} // namespace psca
+
+#endif // PSCA_CORE_SCALE_HH

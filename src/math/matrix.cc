@@ -1,0 +1,42 @@
+#include "math/matrix.hh"
+
+namespace psca {
+
+Matrix
+rowCovariance(const Matrix &x)
+{
+    const size_t n = x.rows();
+    const size_t t = x.cols();
+    PSCA_ASSERT(t >= 2, "covariance needs at least two samples");
+
+    // Mean-center each variable (row).
+    Matrix centered(n, t);
+    for (size_t i = 0; i < n; ++i) {
+        const double *src = x.row(i);
+        double mean = 0.0;
+        for (size_t j = 0; j < t; ++j)
+            mean += src[j];
+        mean /= static_cast<double>(t);
+        double *dst = centered.row(i);
+        for (size_t j = 0; j < t; ++j)
+            dst[j] = src[j] - mean;
+    }
+
+    Matrix cov(n, n);
+    const double inv = 1.0 / static_cast<double>(t - 1);
+    for (size_t i = 0; i < n; ++i) {
+        const double *ri = centered.row(i);
+        for (size_t j = i; j < n; ++j) {
+            const double *rj = centered.row(j);
+            double sum = 0.0;
+            for (size_t k = 0; k < t; ++k)
+                sum += ri[k] * rj[k];
+            const double c = sum * inv;
+            cov(i, j) = c;
+            cov(j, i) = c;
+        }
+    }
+    return cov;
+}
+
+} // namespace psca

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Streaming and batch statistics helpers: Welford running moments,
+ * mean/stddev over containers, and quantiles. Used for counter
+ * screening, cross-validation summaries, and metric reporting.
+ */
+
+#ifndef PSCA_MATH_STATS_HH
+#define PSCA_MATH_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace psca {
+
+/** Welford single-pass accumulator for mean and variance. */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = count_ == 1 ? x : std::min(min_, x);
+        max_ = count_ == 1 ? x : std::max(max_, x);
+    }
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (n - 1 denominator). */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Merge another accumulator (Chan et al. parallel combine). */
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double total = static_cast<double>(count_ + other.count_);
+        const double delta = other.mean_ - mean_;
+        m2_ += other.m2_ + delta * delta *
+            static_cast<double>(count_) *
+            static_cast<double>(other.count_) / total;
+        mean_ += delta * static_cast<double>(other.count_) / total;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+        count_ += other.count_;
+    }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 for an empty vector. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+/** Sample standard deviation of a vector; 0 for fewer than 2 values. */
+inline double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double sum = 0.0;
+    for (double x : v)
+        sum += (x - m) * (x - m);
+    return std::sqrt(sum / static_cast<double>(v.size() - 1));
+}
+
+/** Linear-interpolated quantile q in [0, 1] of a copy of v. */
+inline double
+quantile(std::vector<double> v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+} // namespace psca
+
+#endif // PSCA_MATH_STATS_HH

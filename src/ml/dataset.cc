@@ -1,0 +1,54 @@
+#include "ml/dataset.hh"
+
+#include <cmath>
+
+namespace psca {
+
+FeatureScaler
+FeatureScaler::fit(const Dataset &data)
+{
+    FeatureScaler scaler;
+    const size_t f = data.numFeatures;
+    const size_t n = data.numSamples();
+    scaler.mean.assign(f, 0.0f);
+    scaler.invStd.assign(f, 1.0f);
+    if (n == 0)
+        return scaler;
+
+    std::vector<double> sum(f, 0.0), sum_sq(f, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        const float *row = data.row(i);
+        for (size_t j = 0; j < f; ++j) {
+            sum[j] += row[j];
+            sum_sq[j] += static_cast<double>(row[j]) * row[j];
+        }
+    }
+    for (size_t j = 0; j < f; ++j) {
+        const double mean = sum[j] / static_cast<double>(n);
+        const double var =
+            std::max(0.0, sum_sq[j] / static_cast<double>(n) -
+                              mean * mean);
+        scaler.mean[j] = static_cast<float>(mean);
+        scaler.invStd[j] = var > 1e-18
+            ? static_cast<float>(1.0 / std::sqrt(var))
+            : 0.0f; // constant feature contributes nothing
+    }
+    return scaler;
+}
+
+Dataset
+FeatureScaler::apply(const Dataset &data) const
+{
+    PSCA_ASSERT(data.numFeatures == mean.size(),
+                "scaler/dataset feature mismatch");
+    Dataset out = data;
+    const size_t n = data.numSamples();
+    for (size_t i = 0; i < n; ++i) {
+        float *row = out.x.data() + i * out.numFeatures;
+        for (size_t j = 0; j < out.numFeatures; ++j)
+            row[j] = (row[j] - mean[j]) * invStd[j];
+    }
+    return out;
+}
+
+} // namespace psca

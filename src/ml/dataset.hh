@@ -1,0 +1,105 @@
+/**
+ * @file
+ * In-memory training/evaluation dataset: row-major feature matrix of
+ * cycle-normalized counter values, binary gating labels (y=1 means
+ * "low-power mode meets the SLA two intervals ahead"), and grouping
+ * metadata (application / trace identity) used for application-level
+ * cross-validation partitioning (Sec. 4.3).
+ */
+
+#ifndef PSCA_ML_DATASET_HH
+#define PSCA_ML_DATASET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace psca {
+
+/** One labeled telemetry dataset. */
+struct Dataset
+{
+    size_t numFeatures = 0;
+    /** Row-major samples x numFeatures. */
+    std::vector<float> x;
+    /** Binary labels (1 = gate / low-power safe). */
+    std::vector<uint8_t> y;
+    /** Application id of each sample (for app-level partitioning). */
+    std::vector<uint32_t> appId;
+    /** Trace id of each sample (RSV is computed per trace). */
+    std::vector<uint32_t> traceId;
+
+    size_t
+    numSamples() const
+    {
+        return numFeatures ? x.size() / numFeatures : 0;
+    }
+
+    const float *row(size_t i) const { return x.data() + i * numFeatures; }
+
+    /** Append one sample. */
+    void
+    addSample(const float *features, uint8_t label, uint32_t app_id,
+              uint32_t trace_id)
+    {
+        x.insert(x.end(), features, features + numFeatures);
+        y.push_back(label);
+        appId.push_back(app_id);
+        traceId.push_back(trace_id);
+    }
+
+    /** Copy the selected sample indices into a new dataset. */
+    Dataset
+    subset(const std::vector<size_t> &indices) const
+    {
+        Dataset out;
+        out.numFeatures = numFeatures;
+        out.x.reserve(indices.size() * numFeatures);
+        out.y.reserve(indices.size());
+        for (size_t i : indices)
+            out.addSample(row(i), y[i], appId[i], traceId[i]);
+        return out;
+    }
+
+    /** Fraction of positive (gate) labels. */
+    double
+    positiveRate() const
+    {
+        if (y.empty())
+            return 0.0;
+        size_t pos = 0;
+        for (uint8_t label : y)
+            pos += label;
+        return static_cast<double>(pos) / static_cast<double>(y.size());
+    }
+};
+
+/**
+ * Per-feature affine normalization (z-score), fit on tuning data and
+ * applied at inference time in firmware. Constant features map to 0.
+ */
+struct FeatureScaler
+{
+    std::vector<float> mean;
+    std::vector<float> invStd;
+
+    /** Fit on a dataset. */
+    static FeatureScaler fit(const Dataset &data);
+
+    /** Apply in place to a dataset copy. */
+    Dataset apply(const Dataset &data) const;
+
+    /** Apply to one feature vector. */
+    void
+    applyRow(const float *in, float *out) const
+    {
+        for (size_t j = 0; j < mean.size(); ++j)
+            out[j] = (in[j] - mean[j]) * invStd[j];
+    }
+};
+
+} // namespace psca
+
+#endif // PSCA_ML_DATASET_HH

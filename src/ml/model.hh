@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Common interface for adaptation models (Sec. 2.3): trained offline,
+ * then executed in inference mode on the microcontroller. Each model
+ * reports its firmware cost (operations per prediction and memory
+ * footprint) so the ops-budget machinery of Sec. 5 can decide the
+ * finest prediction granularity it supports.
+ */
+
+#ifndef PSCA_ML_MODEL_HH
+#define PSCA_ML_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ml/dataset.hh"
+
+namespace psca {
+
+/** A trained binary adaptation model. */
+class Model
+{
+  public:
+    virtual ~Model() = default;
+
+    /** Number of input counters the model consumes. */
+    virtual size_t numInputs() const = 0;
+
+    /**
+     * Raw score for one (already normalized) feature vector; higher
+     * means "gate" is more likely. Probabilistic models return a
+     * probability in [0, 1].
+     */
+    virtual double score(const float *x) const = 0;
+
+    /** Binary decision: score >= threshold. */
+    bool
+    predict(const float *x) const
+    {
+        return score(x) >= threshold_;
+    }
+
+    /**
+     * Decision threshold (the model's "sensitivity", Sec. 6.3). Lower
+     * thresholds gate more aggressively; raising the threshold trades
+     * PGOS for fewer false-positive gating decisions.
+     */
+    double threshold() const { return threshold_; }
+    void setThreshold(double t) { threshold_ = t; }
+
+    /** Firmware operations per prediction (Table 3 accounting). */
+    virtual uint32_t opsPerInference() const = 0;
+
+    /** Firmware memory footprint in bytes (Table 3 accounting). */
+    virtual size_t memoryFootprintBytes() const = 0;
+
+    /** Short description, e.g. "MLP 8/8/4". */
+    virtual std::string describe() const = 0;
+
+  private:
+    double threshold_ = 0.5;
+};
+
+} // namespace psca
+
+#endif // PSCA_ML_MODEL_HH

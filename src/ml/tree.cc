@@ -1,0 +1,260 @@
+#include "ml/tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace psca {
+
+namespace {
+
+/** Binary entropy of a positive count within a total. */
+double
+entropy(size_t pos, size_t total)
+{
+    if (total == 0 || pos == 0 || pos == total)
+        return 0.0;
+    const double p = static_cast<double>(pos) /
+        static_cast<double>(total);
+    return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+} // namespace
+
+DecisionTree::DecisionTree(const Dataset &data,
+                           const std::vector<size_t> &sample_indices,
+                           const TreeConfig &cfg)
+    : numInputs_(data.numFeatures), cfg_(cfg)
+{
+    std::vector<size_t> indices = sample_indices;
+    if (indices.empty()) {
+        indices.resize(data.numSamples());
+        std::iota(indices.begin(), indices.end(), 0);
+    }
+    Rng rng(cfg.seed ^ 0x7ee5eedULL);
+    if (!indices.empty())
+        build(data, indices, 0, indices.size(), 0, rng);
+    if (nodes_.empty()) {
+        Node root;
+        root.prob = static_cast<float>(data.positiveRate());
+        nodes_.push_back(root);
+    }
+}
+
+int32_t
+DecisionTree::build(const Dataset &data, std::vector<size_t> &indices,
+                    size_t begin, size_t end, int depth, Rng &rng)
+{
+    const size_t n = end - begin;
+    size_t pos = 0;
+    for (size_t i = begin; i < end; ++i)
+        pos += data.y[indices[i]];
+
+    const int32_t node_id = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[static_cast<size_t>(node_id)].prob = static_cast<float>(
+        (static_cast<double>(pos) + 0.5) / (static_cast<double>(n) + 1.0));
+
+    const bool pure = pos == 0 || pos == n;
+    if (depth >= cfg_.maxDepth || n < 2 * cfg_.minSamplesLeaf || pure)
+        return node_id;
+
+    // Candidate features: all, or a random subset (RF mode).
+    std::vector<uint16_t> features;
+    if (cfg_.featureSubset == 0 ||
+        cfg_.featureSubset >= numInputs_) {
+        features.resize(numInputs_);
+        std::iota(features.begin(), features.end(), 0);
+    } else {
+        std::vector<uint16_t> all(numInputs_);
+        std::iota(all.begin(), all.end(), 0);
+        rng.shuffle(all);
+        features.assign(all.begin(),
+                        all.begin() +
+                            static_cast<ptrdiff_t>(cfg_.featureSubset));
+    }
+
+    // Find the entropy-minimizing (feature, threshold) split by
+    // sorting sample values per candidate feature.
+    const double parent_h = entropy(pos, n);
+    double best_gain = 1e-9;
+    int best_feature = -1;
+    float best_threshold = 0.0f;
+
+    std::vector<std::pair<float, uint8_t>> vals(n);
+    for (uint16_t f : features) {
+        for (size_t i = 0; i < n; ++i) {
+            const size_t idx = indices[begin + i];
+            vals[i] = {data.row(idx)[f], data.y[idx]};
+        }
+        std::sort(vals.begin(), vals.end());
+        size_t left_pos = 0;
+        for (size_t i = 0; i + 1 < n; ++i) {
+            left_pos += vals[i].second;
+            if (vals[i].first == vals[i + 1].first)
+                continue;
+            const size_t nl = i + 1;
+            const size_t nr = n - nl;
+            if (nl < cfg_.minSamplesLeaf || nr < cfg_.minSamplesLeaf)
+                continue;
+            const double h =
+                (static_cast<double>(nl) * entropy(left_pos, nl) +
+                 static_cast<double>(nr) *
+                     entropy(pos - left_pos, nr)) /
+                static_cast<double>(n);
+            const double gain = parent_h - h;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold =
+                    0.5f * (vals[i].first + vals[i + 1].first);
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node_id;
+
+    // Partition in place and recurse.
+    auto mid_it = std::partition(
+        indices.begin() + static_cast<ptrdiff_t>(begin),
+        indices.begin() + static_cast<ptrdiff_t>(end),
+        [&](size_t idx) {
+            return data.row(idx)[best_feature] <= best_threshold;
+        });
+    const size_t mid = static_cast<size_t>(
+        mid_it - indices.begin());
+    if (mid == begin || mid == end)
+        return node_id;
+
+    nodes_[static_cast<size_t>(node_id)].feature =
+        static_cast<int16_t>(best_feature);
+    nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+    const int32_t left = build(data, indices, begin, mid, depth + 1, rng);
+    const int32_t right = build(data, indices, mid, end, depth + 1, rng);
+    nodes_[static_cast<size_t>(node_id)].left = left;
+    nodes_[static_cast<size_t>(node_id)].right = right;
+    return node_id;
+}
+
+double
+DecisionTree::score(const float *x) const
+{
+    int32_t node = 0;
+    while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+        const Node &nd = nodes_[static_cast<size_t>(node)];
+        node = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+    }
+    return nodes_[static_cast<size_t>(node)].prob;
+}
+
+uint32_t
+DecisionTree::opsPerInference() const
+{
+    // Branch-free traversal: ~8 ops per level (Listing 2), trees
+    // padded with trivial comparisons to constant depth, plus a
+    // 5-op epilogue.
+    return static_cast<uint32_t>(cfg_.maxDepth) * 8u + 5u;
+}
+
+size_t
+DecisionTree::memoryFootprintBytes() const
+{
+    // Full-depth node array at 10 bytes per node (feature id,
+    // threshold, children/prediction), as deployed in firmware; leaf
+    // predictions pack into their parents, giving 2^depth nodes.
+    return (1ULL << cfg_.maxDepth) * 10ULL;
+}
+
+std::string
+DecisionTree::describe() const
+{
+    std::ostringstream os;
+    os << "DecisionTree depth<=" << cfg_.maxDepth;
+    return os.str();
+}
+
+RandomForest::RandomForest(const Dataset &data, const ForestConfig &cfg)
+{
+    const size_t n = data.numSamples();
+    Rng rng(cfg.seed ^ 0xf02e57ULL);
+    const size_t subset = cfg.featureSubset
+        ? cfg.featureSubset
+        : std::max<size_t>(1, static_cast<size_t>(
+              std::round(std::sqrt(
+                  static_cast<double>(data.numFeatures)))));
+
+    for (int t = 0; t < cfg.numTrees; ++t) {
+        // Bootstrap sample.
+        std::vector<size_t> sample(n);
+        for (auto &s : sample)
+            s = static_cast<size_t>(rng.below(n ? n : 1));
+        TreeConfig tc;
+        tc.maxDepth = cfg.maxDepth;
+        tc.minSamplesLeaf = cfg.minSamplesLeaf;
+        tc.featureSubset = subset;
+        tc.seed = mixSeeds(cfg.seed, static_cast<uint64_t>(t) + 1);
+        trees_.push_back(
+            std::make_unique<DecisionTree>(data, sample, tc));
+    }
+}
+
+RandomForest::RandomForest(
+    std::vector<std::unique_ptr<DecisionTree>> trees)
+    : trees_(std::move(trees))
+{
+    PSCA_ASSERT(!trees_.empty(), "forest needs at least one tree");
+}
+
+size_t
+RandomForest::numInputs() const
+{
+    return trees_.empty() ? 0 : trees_.front()->numInputs();
+}
+
+double
+RandomForest::score(const float *x) const
+{
+    double sum = 0.0;
+    for (const auto &tree : trees_)
+        sum += tree->score(x);
+    return sum / static_cast<double>(trees_.size());
+}
+
+uint32_t
+RandomForest::opsPerInference() const
+{
+    uint32_t ops = 0;
+    for (const auto &tree : trees_)
+        ops += static_cast<uint32_t>(tree->maxDepth()) * 8u;
+    // Vote/average epilogue: ~3 ops per tree plus the threshold.
+    ops += static_cast<uint32_t>(trees_.size()) * 3u + 2u;
+    return ops;
+}
+
+size_t
+RandomForest::memoryFootprintBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &tree : trees_)
+        bytes += (1ULL << tree->maxDepth()) * 10ULL;
+    return bytes;
+}
+
+std::string
+RandomForest::describe() const
+{
+    std::ostringstream os;
+    os << "RF " << trees_.size() << "x depth<="
+       << (trees_.empty() ? 0 : trees_.front()->maxDepth());
+    return os.str();
+}
+
+std::vector<std::unique_ptr<DecisionTree>>
+RandomForest::takeTrees()
+{
+    return std::move(trees_);
+}
+
+} // namespace psca

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * CART binary decision tree with entropy splits, and a bagged
+ * random-forest ensemble — the paper's best adaptation model (Best
+ * RF: 8 trees, depth 8, Sec. 6.3 / Table 3).
+ *
+ * Firmware cost accounting follows Listing 2: each level of a
+ * branch-free tree traversal costs ~8 microcontroller operations, and
+ * trees are padded to full depth with trivial comparisons so every
+ * prediction costs the same; the ensemble vote adds a few ops per
+ * tree. Memory is 10 bytes per node with 2^depth..2^(depth+1) nodes,
+ * reproducing Table 3's footprints.
+ */
+
+#ifndef PSCA_ML_TREE_HH
+#define PSCA_ML_TREE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/model.hh"
+
+namespace psca {
+
+/** Decision-tree training configuration. */
+struct TreeConfig
+{
+    int maxDepth = 8;
+    size_t minSamplesLeaf = 4;
+    /**
+     * Features examined per split: 0 = all (single CART tree);
+     * otherwise a random subset of this size (random-forest mode).
+     */
+    size_t featureSubset = 0;
+    uint64_t seed = 1;
+};
+
+/** One trained CART decision tree. */
+class DecisionTree : public Model
+{
+  public:
+    /** Train a tree on (a bootstrap sample of) the data. */
+    DecisionTree(const Dataset &data,
+                 const std::vector<size_t> &sample_indices,
+                 const TreeConfig &cfg);
+
+    size_t numInputs() const override { return numInputs_; }
+    double score(const float *x) const override; //!< leaf P(y=1)
+    uint32_t opsPerInference() const override;
+    size_t memoryFootprintBytes() const override;
+    std::string describe() const override;
+
+    int maxDepth() const { return cfg_.maxDepth; }
+
+    /** Flattened node storage, exposed for the firmware compiler. */
+    struct Node
+    {
+        int16_t feature = -1;   //!< -1 for leaves
+        float threshold = 0.0f;
+        float prob = 0.5f;      //!< P(y=1) at this node
+        int32_t left = -1;      //!< child indices; -1 for leaves
+        int32_t right = -1;
+    };
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+  private:
+    int32_t build(const Dataset &data, std::vector<size_t> &indices,
+                  size_t begin, size_t end, int depth, Rng &rng);
+
+    size_t numInputs_;
+    TreeConfig cfg_;
+    std::vector<Node> nodes_;
+};
+
+/** Random-forest training configuration. */
+struct ForestConfig
+{
+    int numTrees = 8;
+    int maxDepth = 8;
+    size_t minSamplesLeaf = 4;
+    /** 0 = sqrt(num_features). */
+    size_t featureSubset = 0;
+    uint64_t seed = 1;
+};
+
+/** Bagged ensemble of CART trees; score = mean leaf probability. */
+class RandomForest : public Model
+{
+  public:
+    RandomForest(const Dataset &data, const ForestConfig &cfg);
+
+    /**
+     * Build a forest from already-trained trees (used by the
+     * post-silicon app-specific retraining flow of Sec. 7.3, which
+     * combines general and application-specific trees).
+     */
+    explicit RandomForest(
+        std::vector<std::unique_ptr<DecisionTree>> trees);
+
+    size_t numInputs() const override;
+    double score(const float *x) const override;
+    uint32_t opsPerInference() const override;
+    size_t memoryFootprintBytes() const override;
+    std::string describe() const override;
+
+    const std::vector<std::unique_ptr<DecisionTree>> &trees() const
+    {
+        return trees_;
+    }
+
+    /** Move the trees out (for ensemble merging). */
+    std::vector<std::unique_ptr<DecisionTree>> takeTrees();
+
+  private:
+    std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+} // namespace psca
+
+#endif // PSCA_ML_TREE_HH

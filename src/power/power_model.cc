@@ -1,0 +1,46 @@
+#include "power/power_model.hh"
+
+namespace psca {
+
+double
+PowerModel::intervalEnergyNj(const std::vector<uint64_t> &delta,
+                             uint64_t cycles, CoreMode mode) const
+{
+    auto get = [&](Ctr c) {
+        return static_cast<double>(delta[CounterRegistry::index(c)]);
+    };
+
+    const double seconds =
+        static_cast<double>(cycles) / (clockGhz_ * 1e9);
+    const double static_watts = mode == CoreMode::HighPerf
+        ? cfg_.staticHighPerf
+        : cfg_.staticLowPower;
+
+    double nj = static_watts * seconds * 1e9;
+    nj += cfg_.perUopIssued * get(Ctr::UopsIssuedTotal);
+    nj += cfg_.perFpOp * get(Ctr::FpOpsRetired);
+    nj += cfg_.perL1dAccess *
+        (get(Ctr::L1dRead) + get(Ctr::L1dWrite));
+    nj += cfg_.perL2Access * (get(Ctr::L2Hit) + get(Ctr::L2Miss));
+    nj += cfg_.perLlcAccess * (get(Ctr::LlcHit) + get(Ctr::LlcMiss));
+    nj += cfg_.perMemAccess *
+        (get(Ctr::MemReads) + get(Ctr::MemWrites));
+    nj += cfg_.perBranchMispred * get(Ctr::BranchMispred);
+    nj += cfg_.perFetchUop * get(Ctr::DecodeUops);
+    nj += cfg_.perWrongPathUop * get(Ctr::WrongPathUopsFlushed);
+    nj += cfg_.perModeSwitch * get(Ctr::ModeSwitches);
+    return nj;
+}
+
+double
+PowerModel::intervalPowerWatts(const std::vector<uint64_t> &delta,
+                               uint64_t cycles, CoreMode mode) const
+{
+    const double seconds =
+        static_cast<double>(cycles) / (clockGhz_ * 1e9);
+    if (seconds <= 0.0)
+        return 0.0;
+    return intervalEnergyNj(delta, cycles, mode) * 1e-9 / seconds;
+}
+
+} // namespace psca

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-cycle bandwidth accounting for the timestamp-propagation core
+ * model. A BandwidthRing answers "what is the first cycle at or after
+ * t with a free slot?" for bounded-capacity resources (issue ports,
+ * load ports, retire slots, DRAM fill slots) using a lazily-cleared
+ * circular usage array.
+ */
+
+#ifndef PSCA_SIM_BANDWIDTH_HH
+#define PSCA_SIM_BANDWIDTH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace psca {
+
+/**
+ * Sliding-window per-cycle usage counter. The window must exceed the
+ * maximum spread between in-flight timestamps (bounded by the ROB
+ * size times the largest latency); 2^17 cycles is ample here.
+ */
+class BandwidthRing
+{
+  public:
+    /**
+     * @param capacity Slots available per period.
+     * @param granularity_shift log2 cycles per period (0 = per cycle;
+     *        2 = one period per 4 cycles, used for DRAM fill slots).
+     * @param log2_size log2 of the window size in periods.
+     */
+    explicit BandwidthRing(uint8_t capacity, uint32_t granularity_shift = 0,
+                           uint32_t log2_size = 17)
+        : used_(1ULL << log2_size, 0),
+          mask_((1ULL << log2_size) - 1),
+          capacity_(capacity),
+          shift_(granularity_shift)
+    {}
+
+    /** Change capacity (e.g. after a mode switch). */
+    void setCapacity(uint8_t capacity) { capacity_ = capacity; }
+    uint8_t capacity() const { return capacity_; }
+
+    /**
+     * Reserve one slot at the first period >= earliest_cycle with
+     * free capacity.
+     *
+     * @return The cycle of the reserved slot (aligned to the period).
+     * @param was_first Optional out-flag: set true when this is the
+     *        first reservation in its period (used for busy-cycle
+     *        counting).
+     */
+    uint64_t
+    reserve(uint64_t earliest_cycle, bool *was_first = nullptr)
+    {
+        uint64_t period = earliest_cycle >> shift_;
+        advanceTo(period);
+        // Periods older than the window have been forgotten; clamp.
+        if (horizon_ > mask_ && period < horizon_ - mask_)
+            period = horizon_ - mask_;
+        while (used_[period & mask_] >= capacity_) {
+            ++period;
+            advanceTo(period);
+        }
+        if (was_first)
+            *was_first = used_[period & mask_] == 0;
+        ++used_[period & mask_];
+        return period << shift_;
+    }
+
+    /** Usage in the period containing cycle (within the window). */
+    uint8_t
+    usageAt(uint64_t cycle) const
+    {
+        const uint64_t period = cycle >> shift_;
+        if (period > horizon_ ||
+            (horizon_ > mask_ && period < horizon_ - mask_)) {
+            return 0;
+        }
+        return used_[period & mask_];
+    }
+
+    /** Forget all reservations. */
+    void
+    reset()
+    {
+        std::memset(used_.data(), 0, used_.size());
+        horizon_ = 0;
+    }
+
+  private:
+    /** Clear slots newly entering the window as the horizon moves. */
+    void
+    advanceTo(uint64_t period)
+    {
+        if (period <= horizon_)
+            return;
+        if (period - horizon_ > mask_) {
+            std::memset(used_.data(), 0, used_.size());
+        } else {
+            for (uint64_t p = horizon_ + 1; p <= period; ++p)
+                used_[p & mask_] = 0;
+        }
+        horizon_ = period;
+    }
+
+    std::vector<uint8_t> used_;
+    uint64_t mask_;
+    uint64_t horizon_ = 0;
+    uint8_t capacity_;
+    uint32_t shift_;
+};
+
+} // namespace psca
+
+#endif // PSCA_SIM_BANDWIDTH_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tournament branch direction predictor (bimodal + gshare with a
+ * per-pc chooser), in the style of the Alpha 21264. The bimodal
+ * component captures per-branch bias quickly; the gshare component
+ * captures history-correlated patterns such as loop trip counts.
+ * Direction-only: targets are assumed available from a BTB that
+ * never misses (the synthetic traces use direct branches only).
+ */
+
+#ifndef PSCA_SIM_BPRED_HH
+#define PSCA_SIM_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace psca {
+
+/** Tournament predictor: predict-then-update in one call. */
+class TournamentBpred
+{
+  public:
+    /** @param log2_entries log2 of each component table's size. */
+    explicit TournamentBpred(uint32_t log2_entries = 14)
+        : bimodal_(1ULL << log2_entries, 2),
+          gshare_(1ULL << log2_entries, 2),
+          chooser_(1ULL << log2_entries, 2),
+          mask_((1ULL << log2_entries) - 1)
+    {}
+
+    /**
+     * Predict the branch at pc, then train on the actual outcome.
+     * @return true if the prediction matched the outcome.
+     */
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        const uint64_t pc_idx = (pc >> 2) & mask_;
+        const uint64_t gs_idx = ((pc >> 2) ^ history_) & mask_;
+
+        const bool bim_pred = bimodal_[pc_idx] >= 2;
+        const bool gs_pred = gshare_[gs_idx] >= 2;
+        const bool use_gshare = chooser_[pc_idx] >= 2;
+        const bool predicted = use_gshare ? gs_pred : bim_pred;
+
+        // Train the chooser toward the component that was right.
+        if (gs_pred != bim_pred) {
+            if (gs_pred == taken && chooser_[pc_idx] < 3)
+                ++chooser_[pc_idx];
+            else if (bim_pred == taken && chooser_[pc_idx] > 0)
+                --chooser_[pc_idx];
+        }
+        train(bimodal_[pc_idx], taken);
+        train(gshare_[gs_idx], taken);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & 0xfff;
+        return predicted == taken;
+    }
+
+    /** Clear all predictor state. */
+    void
+    reset()
+    {
+        std::fill(bimodal_.begin(), bimodal_.end(), 2);
+        std::fill(gshare_.begin(), gshare_.end(), 2);
+        std::fill(chooser_.begin(), chooser_.end(), 2);
+        history_ = 0;
+    }
+
+  private:
+    static void
+    train(uint8_t &ctr, bool taken)
+    {
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    }
+
+    std::vector<uint8_t> bimodal_;
+    std::vector<uint8_t> gshare_;
+    std::vector<uint8_t> chooser_;
+    uint64_t mask_;
+    uint64_t history_ = 0;
+};
+
+/** Backwards-compatible alias used by the core. */
+using GshareBpred = TournamentBpred;
+
+} // namespace psca
+
+#endif // PSCA_SIM_BPRED_HH

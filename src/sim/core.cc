@@ -1,0 +1,451 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+namespace psca {
+
+namespace {
+
+/** Bucket a residency/latency value into a 16-bucket histogram. */
+uint16_t
+residencyBucket(uint64_t v)
+{
+    // Buckets: 0,1,2,3,4-7,8-15,...; log-ish spacing.
+    if (v < 4)
+        return static_cast<uint16_t>(v);
+    uint16_t b = 4;
+    uint64_t top = 8;
+    while (v >= top && b < 15) {
+        ++b;
+        top <<= 1;
+    }
+    return b;
+}
+
+} // namespace
+
+ClusteredCore::ClusteredCore(const CoreConfig &cfg)
+    : cfg_(cfg),
+      mem_(cfg),
+      retireRing_(static_cast<uint8_t>(cfg.retireWidth)),
+      issueRing_{
+          BandwidthRing(static_cast<uint8_t>(cfg.issueWidthPerCluster)),
+          BandwidthRing(static_cast<uint8_t>(cfg.issueWidthPerCluster))},
+      loadPorts_{
+          BandwidthRing(static_cast<uint8_t>(cfg.loadPortsPerCluster)),
+          BandwidthRing(static_cast<uint8_t>(cfg.loadPortsPerCluster))},
+      mshrs_{MshrPool(cfg.mshrsPerCluster),
+             MshrPool(cfg.mshrsPerCluster)}
+{
+    robRetire_.assign(static_cast<size_t>(cfg.robSize), 0);
+    for (int c = 0; c < kNumClusters; ++c)
+        rsIssueTime_[c].assign(static_cast<size_t>(cfg.rsSizePerCluster),
+                               0);
+    sqFreeTime_.assign(static_cast<size_t>(cfg.sqSize), 0);
+    fwdTable_.assign(64, FwdEntry{});
+}
+
+void
+ClusteredCore::reset()
+{
+    mode_ = CoreMode::HighPerf;
+    counters_.reset();
+    mem_.reset();
+    bpred_.reset();
+    std::fill(std::begin(regReady_), std::end(regReady_), 0);
+    // "Written long ago": forces the first touch of each register to
+    // re-latch its strand round-robin (unsigned distance wraps huge).
+    std::fill(std::begin(regLastWriter_), std::end(regLastWriter_),
+              ~0ULL - (1ULL << 32));
+    std::fill(std::begin(regCluster_), std::end(regCluster_), 0);
+    seq_ = 0;
+    std::fill(robRetire_.begin(), robRetire_.end(), 0);
+    retireRing_.reset();
+    lastRetireTime_ = 0;
+    fetchCycle_ = 0;
+    fetchedThisCycle_ = 0;
+    lastFetchLine_ = ~0ULL;
+    for (int c = 0; c < kNumClusters; ++c) {
+        issueRing_[c].reset();
+        loadPorts_[c].reset();
+        mshrs_[c].reset();
+        std::fill(rsIssueTime_[c].begin(), rsIssueTime_[c].end(), 0);
+        clusterSeq_[c] = 0;
+        busyIssueCycles_[c] = 0;
+        intervalBusyBase_[c] = 0;
+    }
+    steerBalance_ = 0;
+    std::fill(sqFreeTime_.begin(), sqFreeTime_.end(), 0);
+    storeSeq_ = 0;
+    std::fill(fwdTable_.begin(), fwdTable_.end(), FwdEntry{});
+    minDispatchTime_ = 0;
+    lastDispatchTime_ = 0;
+    intervalStartCycle_ = 0;
+    intervalIssued_ = 0;
+}
+
+void
+ClusteredCore::setMode(CoreMode mode)
+{
+    if (mode == mode_)
+        return;
+    counters_.inc(Ctr::ModeSwitches);
+    if (mode == CoreMode::LowPower) {
+        // Count registers live on cluster 1; each needs a microcoded
+        // transfer uop on cluster 0 (Sec. 3: up to 32, low tens of
+        // cycles, execution continues on cluster 0).
+        int live = 0;
+        for (int r = 0; r < kNumArchRegs; ++r)
+            live += regCluster_[r] == 1 ? 1 : 0;
+        live = std::min(live, cfg_.gateMicrocodeUops);
+        const uint64_t penalty =
+            static_cast<uint64_t>(cfg_.gateOverheadCycles) +
+            static_cast<uint64_t>(
+                (live + cfg_.issueWidthPerCluster - 1) /
+                cfg_.issueWidthPerCluster);
+        minDispatchTime_ =
+            std::max(minDispatchTime_, lastRetireTime_ + penalty);
+        for (int r = 0; r < kNumArchRegs; ++r) {
+            if (regCluster_[r] == 1) {
+                regCluster_[r] = 0;
+                regReady_[r] =
+                    std::max(regReady_[r], minDispatchTime_);
+            }
+        }
+    } else {
+        minDispatchTime_ = std::max(
+            minDispatchTime_,
+            lastRetireTime_ +
+                static_cast<uint64_t>(cfg_.ungateOverheadCycles));
+    }
+    mode_ = mode;
+}
+
+int
+ClusteredCore::execLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return cfg_.latIntAlu;
+      case OpClass::IntMul: return cfg_.latIntMul;
+      case OpClass::IntDiv: return cfg_.latIntDiv;
+      case OpClass::FpAdd: return cfg_.latFpAdd;
+      case OpClass::FpMul: return cfg_.latFpMul;
+      case OpClass::FpDiv: return cfg_.latFpDiv;
+      case OpClass::FpFma: return cfg_.latFpFma;
+      case OpClass::Store: return cfg_.latStore;
+      case OpClass::Branch: return cfg_.latBranch;
+      default: return 1;
+    }
+}
+
+int
+ClusteredCore::steer(const MicroOp &op)
+{
+    if (mode_ == CoreMode::LowPower)
+        return 0;
+
+    // Dependence-aware steering:
+    //  1. read-modify-write uops extend a dependency chain; keep the
+    //     chain on its cluster (the inter-cluster forwarding penalty
+    //     would otherwise serialize into the chain's critical path);
+    //  2. uops reading a value that was produced very recently and is
+    //     still in flight follow the producer;
+    //  3. everything else starts a new strand and is placed
+    //     round-robin, spreading independent work (and its load-port
+    //     and MSHR demand) across both clusters.
+    int cluster = -1;
+    if (op.dst != kNoReg &&
+        (op.dst == op.src0 || op.dst == op.src1) &&
+        seq_ - regLastWriter_[op.dst] <= 64) {
+        // Live chain extension; stale chains re-latch round-robin so
+        // phase changes redistribute work.
+        cluster = regCluster_[op.dst];
+    } else {
+        for (int8_t src : {op.src0, op.src1}) {
+            if (src == kNoReg)
+                continue;
+            if (seq_ - regLastWriter_[src] <= 8) {
+                cluster = regCluster_[src];
+                break;
+            }
+        }
+    }
+
+    if (cluster < 0) {
+        cluster = steerBalance_ >= 0 ? 1 : 0;
+        steerBalance_ += cluster == 0 ? 1 : -1;
+    }
+    return cluster;
+}
+
+void
+ClusteredCore::processUop(const MicroOp &op)
+{
+    const auto &reg = CounterRegistry::instance();
+
+    // ---- Fetch -------------------------------------------------------
+    if (fetchedThisCycle_ >= cfg_.fetchWidth) {
+        counters_.inc(static_cast<uint16_t>(
+            reg.familyBase(CtrFamily::FetchBundleHist) +
+            std::min(fetchedThisCycle_, 8)));
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+    }
+    const uint64_t line = op.pc >> 6;
+    if (line != lastFetchLine_) {
+        const uint32_t miss_lat = mem_.instAccess(op.pc, counters_);
+        if (miss_lat > 0) {
+            fetchCycle_ += miss_lat;
+            fetchedThisCycle_ = 0;
+            counters_.inc(Ctr::FetchStallCycles, miss_lat);
+        }
+        lastFetchLine_ = line;
+    }
+    const uint64_t fetch_time = fetchCycle_;
+    ++fetchedThisCycle_;
+    counters_.inc(Ctr::DecodeUops);
+    counters_.inc(static_cast<uint16_t>(
+        reg.familyBase(CtrFamily::UopsPcRegion) + ((op.pc >> 12) & 63)));
+
+    // ---- Dispatch ----------------------------------------------------
+    const int cluster = steer(op);
+    uint64_t dispatch = fetch_time +
+        static_cast<uint64_t>(cfg_.frontendDepth);
+    dispatch = std::max(dispatch, minDispatchTime_);
+
+    const uint64_t rob_free =
+        robRetire_[seq_ % robRetire_.size()];
+    if (rob_free > dispatch) {
+        dispatch = rob_free;
+        counters_.inc(Ctr::RobFullStalls);
+    }
+    const size_t rs_slot = clusterSeq_[cluster] %
+        rsIssueTime_[cluster].size();
+    if (rsIssueTime_[cluster][rs_slot] > dispatch) {
+        dispatch = rsIssueTime_[cluster][rs_slot];
+        counters_.inc(reg.index(ClusterCtr::RsFullStalls, cluster));
+    }
+    size_t sq_slot = 0;
+    if (op.isStore()) {
+        sq_slot = storeSeq_ % sqFreeTime_.size();
+        if (sqFreeTime_[sq_slot] > dispatch) {
+            dispatch = sqFreeTime_[sq_slot];
+            counters_.inc(Ctr::SqFullStalls);
+        }
+    }
+    counters_.inc(Ctr::UopsDispatched);
+    lastDispatchTime_ = std::max(lastDispatchTime_, dispatch);
+
+    // ---- Operand readiness --------------------------------------------
+    uint64_t ready = dispatch + 1;
+    int num_srcs = 0;
+    for (int8_t src : {op.src0, op.src1}) {
+        if (src == kNoReg)
+            continue;
+        ++num_srcs;
+        uint64_t t = regReady_[src];
+        if (mode_ == CoreMode::HighPerf &&
+            regCluster_[src] != cluster) {
+            t += static_cast<uint64_t>(cfg_.interClusterFwdDelay);
+            counters_.inc(Ctr::InterClusterFwd);
+        }
+        ready = std::max(ready, t);
+    }
+    counters_.inc(Ctr::PhysRegRefs, static_cast<uint64_t>(num_srcs));
+    if (ready <= dispatch + 1) {
+        counters_.inc(Ctr::UopsReady);
+    } else {
+        counters_.inc(Ctr::UopsStalledOnDep);
+        const uint64_t wait = ready - (dispatch + 1);
+        counters_.inc(Ctr::DepWaitSum, wait);
+        counters_.inc(static_cast<uint16_t>(
+            reg.familyBase(CtrFamily::DepWaitHist) +
+            residencyBucket(wait)));
+    }
+
+    // ---- Issue --------------------------------------------------------
+    bool first_in_cycle = false;
+    uint64_t issue = issueRing_[cluster].reserve(ready, &first_in_cycle);
+    if (first_in_cycle)
+        ++busyIssueCycles_[cluster];
+    if (op.isLoad())
+        issue = std::max(issue, loadPorts_[cluster].reserve(issue));
+
+    counters_.inc(Ctr::UopsIssuedTotal);
+    ++intervalIssued_;
+    counters_.inc(reg.index(ClusterCtr::UopsIssued, cluster));
+    counters_.inc(static_cast<uint16_t>(
+        reg.familyBase(cluster == 0 ? CtrFamily::OpcIssuedC0
+                                    : CtrFamily::OpcIssuedC1) +
+        static_cast<uint16_t>(op.cls)));
+    {
+        const CtrFamily fam = cluster == 0 ? CtrFamily::IssueBundleHistC0
+                                           : CtrFamily::IssueBundleHistC1;
+        const uint8_t used = issueRing_[cluster].usageAt(issue);
+        counters_.inc(static_cast<uint16_t>(
+            reg.familyBase(fam) + std::min<uint8_t>(used, 4)));
+    }
+
+    // ---- Execute ------------------------------------------------------
+    uint64_t completion;
+    if (op.isLoad()) {
+        counters_.inc(reg.index(ClusterCtr::LoadsIssued, cluster));
+        const FwdEntry &fwd = fwdTable_[(op.addr >> 3) & 63];
+        if (fwd.addr == op.addr && fwd.readyTime + 256 > issue) {
+            // Store-to-load forwarding from the store queue.
+            counters_.inc(Ctr::StoreForwards);
+            counters_.inc(Ctr::L1dRead);
+            counters_.inc(Ctr::L1dHit);
+            completion = std::max(issue, fwd.readyTime) +
+                static_cast<uint64_t>(cfg_.storeForwardLatency);
+        } else {
+            completion = mem_.dataAccess(op.addr, false, op.pc, issue,
+                                         mshrs_[cluster], counters_);
+        }
+        const uint64_t lat = completion - issue;
+        counters_.inc(Ctr::LoadLatSum, lat);
+        counters_.inc(static_cast<uint16_t>(
+            reg.familyBase(CtrFamily::LoadLatHist) +
+            residencyBucket(lat)));
+        counters_.inc(Ctr::MshrOccSum, static_cast<uint64_t>(
+            mshrs_[cluster].occupancyAt(issue)));
+    } else if (op.isStore()) {
+        counters_.inc(reg.index(ClusterCtr::StoresIssued, cluster));
+        completion = issue + static_cast<uint64_t>(cfg_.latStore);
+        // The cache write happens post-retirement; model its state
+        // effects now and free the SQ entry when it completes.
+        const uint64_t write_done = mem_.dataAccess(
+            op.addr, true, op.pc, completion, mshrs_[cluster],
+            counters_);
+        sqFreeTime_[sq_slot] = write_done + 1;
+        ++storeSeq_;
+        counters_.inc(Ctr::SqOccSum, write_done - dispatch);
+        counters_.inc(static_cast<uint16_t>(
+            reg.familyBase(CtrFamily::SqOccHist) +
+            residencyBucket(write_done - dispatch)));
+        FwdEntry &slot = fwdTable_[(op.addr >> 3) & 63];
+        slot.addr = op.addr;
+        slot.readyTime = completion;
+    } else {
+        completion = issue +
+            static_cast<uint64_t>(execLatency(op.cls));
+    }
+    counters_.inc(reg.index(ClusterCtr::EuBusySum, cluster),
+                  completion - issue);
+
+    if (op.dst != kNoReg) {
+        regReady_[op.dst] = completion;
+        regCluster_[op.dst] = static_cast<uint8_t>(cluster);
+        regLastWriter_[op.dst] = seq_;
+    }
+
+    // ---- Branch resolution ---------------------------------------------
+    if (op.isBranch()) {
+        counters_.inc(Ctr::BranchesRetired);
+        if (op.branchTaken)
+            counters_.inc(Ctr::BranchTakenRetired);
+        const bool correct =
+            bpred_.predictAndUpdate(op.pc, op.branchTaken);
+        if (!correct) {
+            counters_.inc(Ctr::BranchMispred);
+            counters_.inc(static_cast<uint16_t>(
+                reg.familyBase(CtrFamily::BrMispredPcRegion) +
+                ((op.pc >> 6) & 63)));
+            const uint64_t resolve = completion;
+            const uint64_t redirect = resolve +
+                static_cast<uint64_t>(cfg_.mispredictPenalty);
+            if (redirect > fetchCycle_) {
+                const uint64_t flushed = std::min<uint64_t>(
+                    static_cast<uint64_t>(robRetire_.size()),
+                    (redirect - fetch_time) *
+                        static_cast<uint64_t>(cfg_.fetchWidth) / 2);
+                counters_.inc(Ctr::WrongPathUopsFlushed, flushed);
+                counters_.inc(Ctr::FetchStallCycles,
+                              redirect - fetchCycle_);
+                fetchCycle_ = redirect;
+                fetchedThisCycle_ = 0;
+            }
+        }
+    }
+
+    // ---- Retire ---------------------------------------------------------
+    uint64_t retire = std::max(completion + 1, lastRetireTime_);
+    retire = retireRing_.reserve(retire);
+    lastRetireTime_ = std::max(lastRetireTime_, retire);
+    robRetire_[seq_ % robRetire_.size()] = retire + 1;
+    rsIssueTime_[cluster][rs_slot] = issue + 1;
+    ++clusterSeq_[cluster];
+    ++seq_;
+
+    counters_.inc(Ctr::InstRetired);
+    counters_.inc(Ctr::UopsRetired);
+    counters_.inc(static_cast<uint16_t>(
+        reg.familyBase(CtrFamily::OpcRetired) +
+        static_cast<uint16_t>(op.cls)));
+    if (op.isLoad())
+        counters_.inc(Ctr::LoadsRetired);
+    if (op.isStore())
+        counters_.inc(Ctr::StoresRetired);
+    if (op.isFp())
+        counters_.inc(Ctr::FpOpsRetired);
+    else if (op.cls == OpClass::IntAlu || op.cls == OpClass::IntMul ||
+             op.cls == OpClass::IntDiv)
+        counters_.inc(Ctr::IntOpsRetired);
+
+    const uint64_t rob_res = retire - dispatch;
+    counters_.inc(Ctr::RobOccSum, rob_res);
+    counters_.inc(static_cast<uint16_t>(
+        reg.familyBase(CtrFamily::RobOccHist) +
+        residencyBucket(rob_res)));
+    const uint64_t rs_res = issue - dispatch;
+    counters_.inc(reg.index(ClusterCtr::RsOccSum, cluster), rs_res);
+    counters_.inc(static_cast<uint16_t>(
+        reg.familyBase(cluster == 0 ? CtrFamily::RsOccHistC0
+                                    : CtrFamily::RsOccHistC1) +
+        residencyBucket(rs_res)));
+}
+
+IntervalStats
+ClusteredCore::run(TraceGenerator &gen, uint64_t n)
+{
+    const uint64_t start_cycle = lastRetireTime_;
+    const uint64_t busy0 = busyIssueCycles_[0];
+    const uint64_t busy1 = busyIssueCycles_[1];
+    intervalIssued_ = 0;
+
+    uint64_t remaining = n;
+    while (remaining > 0) {
+        const size_t chunk =
+            static_cast<size_t>(std::min<uint64_t>(remaining, 2048));
+        fillBuffer_.clear();
+        gen.fill(fillBuffer_, chunk);
+        for (const MicroOp &op : fillBuffer_)
+            processUop(op);
+        remaining -= chunk;
+    }
+
+    IntervalStats stats;
+    stats.instructions = n;
+    stats.cycles = std::max<uint64_t>(1, lastRetireTime_ - start_cycle);
+    stats.mode = mode_;
+
+    counters_.inc(Ctr::Cycles, stats.cycles);
+    if (mode_ == CoreMode::LowPower)
+        counters_.inc(Ctr::GatedCycles, stats.cycles);
+
+    // Whole-interval derived counters.
+    const uint64_t busy = std::max(busyIssueCycles_[0] - busy0,
+                                   busyIssueCycles_[1] - busy1);
+    counters_.inc(Ctr::StallCount,
+                  stats.cycles > busy ? stats.cycles - busy : 0);
+    const int active_clusters = mode_ == CoreMode::HighPerf ? 2 : 1;
+    const uint64_t slots = stats.cycles *
+        static_cast<uint64_t>(cfg_.issueWidthPerCluster) *
+        static_cast<uint64_t>(active_clusters);
+    counters_.inc(Ctr::IssueSlotsUnused,
+                  slots > intervalIssued_ ? slots - intervalIssued_ : 0);
+    counters_.syncMirrors();
+    return stats;
+}
+
+} // namespace psca

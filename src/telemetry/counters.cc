@@ -1,0 +1,202 @@
+#include "telemetry/counters.hh"
+
+#include "trace/uop.hh"
+
+namespace psca {
+
+namespace {
+
+/** Names for Ctr, in enum order (paper-style names where they map). */
+const char *const kScalarNames[] = {
+    "Cycles",
+    "Instructions Retired",
+    "Micro Ops Retired",
+    "Loads Retired",
+    "Stores Retired",
+    "Branches Retired",
+    "Branches Taken Retired",
+    "Branch Mispredictions",
+    "Wrong-Path uOps Flushed",
+    "Micro Op Cache Hits",
+    "Micro Op Cache Misses",
+    "Instruction Cache Hits",
+    "Instruction Cache Misses",
+    "I-TLB Hits",
+    "I-TLB Misses",
+    "D-TLB Hits",
+    "D-TLB Misses",
+    "L1 Data Cache Reads",
+    "L1 Data Cache Writes",
+    "L1 Data Cache Hits",
+    "L1 Data Cache Misses",
+    "L2 Cache Hits",
+    "L2 Cache Misses",
+    "L2 Silent Evictions",
+    "L2 Dirty Evictions",
+    "LLC Hits",
+    "LLC Misses",
+    "Memory Reads",
+    "Memory Writes",
+    "Memory Bytes Read",
+    "Memory Bytes Written",
+    "Stall Count",
+    "Fetch Stall Cycles",
+    "Decode uOps",
+    "uOps Dispatched",
+    "ROB Full Stalls",
+    "Store Queue Full Stalls",
+    "MSHR Full Stalls",
+    "Physical Register Ref. Count",
+    "Micro Ops Ready",
+    "Micro Ops Stalled on Dep.",
+    "uOps Issued Total",
+    "Issue Slots Unused",
+    "Inter-Cluster Forwards",
+    "Store Forwards",
+    "Store Queue Occupancy",
+    "ROB Occupancy",
+    "MSHR Occupancy",
+    "Load Latency Sum",
+    "Dependency Wait Sum",
+    "Mode Switches",
+    "Gated Cycles",
+    "FP Ops Retired",
+    "Int Ops Retired",
+};
+static_assert(sizeof(kScalarNames) / sizeof(kScalarNames[0]) ==
+              kNumScalarCtrs);
+
+const char *const kClusterCtrNames[] = {
+    "uOps Issued",
+    "Loads Issued",
+    "Stores Issued",
+    "RS Occupancy",
+    "RS Full Stalls",
+    "Issue Slots Unused",
+    "EU Busy",
+};
+static_assert(sizeof(kClusterCtrNames) / sizeof(kClusterCtrNames[0]) ==
+              kNumClusterCtrs);
+
+struct FamilySpec
+{
+    CtrFamily family;
+    const char *prefix;
+    uint16_t size;
+};
+
+const FamilySpec kFamilies[] = {
+    {CtrFamily::RobOccHist, "ROB Occ Hist", 16},
+    {CtrFamily::RsOccHistC0, "RS Occ Hist C0", 16},
+    {CtrFamily::RsOccHistC1, "RS Occ Hist C1", 16},
+    {CtrFamily::SqOccHist, "SQ Occ Hist", 16},
+    {CtrFamily::LoadLatHist, "Load Latency Hist", 16},
+    {CtrFamily::FetchBundleHist, "Fetch Bundle Hist", 9},
+    {CtrFamily::IssueBundleHistC0, "Issue Bundle Hist C0", 5},
+    {CtrFamily::IssueBundleHistC1, "Issue Bundle Hist C1", 5},
+    {CtrFamily::DepWaitHist, "Dependency Wait Hist", 16},
+    {CtrFamily::StrideHist, "Load Stride Hist", 16},
+    {CtrFamily::L1dMissRegion, "L1D Miss Region", 64},
+    {CtrFamily::L2MissRegion, "L2 Miss Region", 64},
+    {CtrFamily::UopsPcRegion, "uOps PC Region", 64},
+    {CtrFamily::BrMispredPcRegion, "Br Mispred PC Region", 64},
+    {CtrFamily::OpcIssuedC0, "Issued C0",
+     static_cast<uint16_t>(kNumOpClasses)},
+    {CtrFamily::OpcIssuedC1, "Issued C1",
+     static_cast<uint16_t>(kNumOpClasses)},
+    {CtrFamily::OpcRetired, "Retired",
+     static_cast<uint16_t>(kNumOpClasses)},
+};
+static_assert(sizeof(kFamilies) / sizeof(kFamilies[0]) ==
+              static_cast<size_t>(CtrFamily::NumFamilies));
+
+} // namespace
+
+const CounterRegistry &
+CounterRegistry::instance()
+{
+    static const CounterRegistry registry;
+    return registry;
+}
+
+CounterRegistry::CounterRegistry()
+{
+    names_.reserve(kNumTelemetryCounters);
+
+    // Section A: global scalars.
+    for (const char *name : kScalarNames)
+        names_.emplace_back(name);
+
+    // Section B: per-cluster scalars.
+    per_cluster_base_ = names_.size();
+    for (int c = 0; c < kNumClusters; ++c) {
+        for (const char *name : kClusterCtrNames) {
+            names_.push_back(std::string(name) + " (Cluster " +
+                             std::to_string(c) + ")");
+        }
+    }
+
+    // Section C: histogram and binned families.
+    for (const auto &spec : kFamilies) {
+        family_base_[static_cast<size_t>(spec.family)] =
+            static_cast<uint16_t>(names_.size());
+        family_size_[static_cast<size_t>(spec.family)] = spec.size;
+        const bool opclass_family =
+            spec.family == CtrFamily::OpcIssuedC0 ||
+            spec.family == CtrFamily::OpcIssuedC1 ||
+            spec.family == CtrFamily::OpcRetired;
+        for (uint16_t b = 0; b < spec.size; ++b) {
+            if (opclass_family) {
+                names_.push_back(
+                    std::string(spec.prefix) + " " +
+                    opClassName(static_cast<OpClass>(b)));
+            } else {
+                names_.push_back(std::string(spec.prefix) + " [" +
+                                 std::to_string(b) + "]");
+            }
+        }
+    }
+
+    // Section D: alternate-encoding mirrors of scalar counters.
+    mirror_base_ = names_.size();
+    for (size_t s = 0; s < kNumScalarCtrs; ++s) {
+        mirror_source_.push_back(static_cast<uint16_t>(s));
+        names_.push_back(std::string(kScalarNames[s]) + " (ALT)");
+    }
+    for (size_t s = 0; s < 30; ++s) {
+        mirror_source_.push_back(static_cast<uint16_t>(s));
+        names_.push_back(std::string(kScalarNames[s]) + " (ALT2)");
+    }
+
+    // Section E: reserved/unimplemented encodings, padding to the
+    // telemetry system's fixed 936-counter space. These always read
+    // zero and are removed by the low-activity screen (Sec. 6.2).
+    reserved_base_ = static_cast<uint16_t>(names_.size());
+    PSCA_ASSERT(names_.size() <= kNumTelemetryCounters,
+                "registry overflows the 936-counter space");
+    size_t pad = 0;
+    while (names_.size() < kNumTelemetryCounters)
+        names_.push_back("Reserved Encoding " + std::to_string(pad++));
+
+    for (size_t i = 0; i < names_.size(); ++i)
+        by_name_[names_[i]] = static_cast<uint16_t>(i);
+}
+
+uint16_t
+CounterRegistry::indexOf(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        fatal("unknown counter name '", name, "'");
+    return it->second;
+}
+
+void
+Counters::syncMirrors()
+{
+    const auto &reg = CounterRegistry::instance();
+    for (size_t k = 0; k < reg.numMirrors(); ++k)
+        values_[reg.mirrorIndex(k)] = values_[reg.mirrorSource(k)];
+}
+
+} // namespace psca

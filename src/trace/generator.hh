@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Streaming trace generation from an application genome. The
+ * generator is fully deterministic in (genome, input_seed, trace
+ * index), and reset() reproduces the identical micro-op stream — the
+ * dataset builder relies on this to simulate the same trace in both
+ * cluster configurations without storing it.
+ */
+
+#ifndef PSCA_TRACE_GENERATOR_HH
+#define PSCA_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/genome.hh"
+
+namespace psca {
+
+/**
+ * One recorded trace: an application genome executed on one input,
+ * starting from one recording offset (the SimPoint analogue).
+ */
+struct Workload
+{
+    AppGenome genome;
+    /** Input identity; perturbs phase weights and kernel params. */
+    uint64_t inputSeed = 0;
+    /** Recording offset within the workload (SimPoint analogue). */
+    uint64_t traceIndex = 0;
+    /** Trace length in micro-ops. */
+    uint64_t lengthInstr = 500000;
+    /** Human-readable identity for reports. */
+    std::string name;
+};
+
+/** Deterministic micro-op stream for one workload trace. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const Workload &workload);
+
+    /** Append exactly n micro-ops to out. */
+    void fill(std::vector<MicroOp> &out, size_t n);
+
+    /** Restart the identical stream from the beginning. */
+    void reset();
+
+    /** Micro-ops produced since construction/reset. */
+    uint64_t produced() const { return produced_; }
+
+    /** The input-perturbed phase set actually being executed. */
+    const std::vector<PhaseSpec> &effectivePhases() const
+    {
+        return phases_;
+    }
+
+  private:
+    void enterNextPhase();
+
+    Workload workload_;
+    std::vector<PhaseSpec> phases_; //!< input-perturbed copy
+    Rng rng_;
+    std::vector<std::unique_ptr<Kernel>> kernels_; //!< one per phase
+    size_t current_phase_ = 0;
+    uint64_t phase_remaining_ = 0;
+    uint64_t produced_ = 0;
+    std::vector<MicroOp> buffer_;
+    size_t buffer_pos_ = 0;
+};
+
+} // namespace psca
+
+#endif // PSCA_TRACE_GENERATOR_HH

@@ -1,0 +1,166 @@
+#include "trace/genome.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace psca {
+
+const char *
+appCategoryName(AppCategory cat)
+{
+    switch (cat) {
+      case AppCategory::HpcPerf: return "hpc_perf";
+      case AppCategory::CloudSecurity: return "cloud_security";
+      case AppCategory::AiAnalytics: return "ai_analytics";
+      case AppCategory::WebProductivity: return "web_productivity";
+      case AppCategory::Multimedia: return "multimedia";
+      case AppCategory::GamesRendering: return "games_rendering";
+      case AppCategory::SpecInt: return "spec_int";
+      case AppCategory::SpecFp: return "spec_fp";
+      default: return "unknown";
+    }
+}
+
+namespace {
+
+/** Per-category prior over kernel kinds (order matches KernelKind). */
+struct CategoryPrior
+{
+    // Stream, PointerChase, Ilp, Branchy, MlpRich, Stencil, FpSerial
+    double kindWeights[kNumKernelKinds];
+    double fpProb;         //!< chance an arithmetic phase uses FP
+    double wideIlpProb;    //!< chance an Ilp phase is width-hungry
+};
+
+const CategoryPrior &
+categoryPrior(AppCategory cat)
+{
+    static const CategoryPrior hpc = {
+        {0.28, 0.05, 0.20, 0.02, 0.05, 0.25, 0.15}, 0.8, 0.45};
+    static const CategoryPrior cloud = {
+        {0.15, 0.30, 0.17, 0.30, 0.05, 0.02, 0.01}, 0.1, 0.35};
+    static const CategoryPrior ai = {
+        {0.28, 0.10, 0.30, 0.02, 0.08, 0.17, 0.05}, 0.7, 0.50};
+    static const CategoryPrior web = {
+        {0.13, 0.26, 0.18, 0.40, 0.02, 0.01, 0.00}, 0.05, 0.30};
+    static const CategoryPrior media = {
+        {0.28, 0.04, 0.35, 0.13, 0.02, 0.15, 0.03}, 0.5, 0.50};
+    static const CategoryPrior games = {
+        {0.15, 0.12, 0.30, 0.22, 0.04, 0.12, 0.05}, 0.4, 0.45};
+
+    switch (cat) {
+      case AppCategory::HpcPerf: return hpc;
+      case AppCategory::CloudSecurity: return cloud;
+      case AppCategory::AiAnalytics: return ai;
+      case AppCategory::WebProductivity: return web;
+      case AppCategory::Multimedia: return media;
+      case AppCategory::GamesRendering: return games;
+      default:
+        panic("no prior for SPEC categories; use spec profiles");
+    }
+}
+
+/** Draw a working-set size spanning L1-resident to memory-resident. */
+uint64_t
+sampleWorkingSet(Rng &rng, double small_prob, double huge_prob)
+{
+    const double u = rng.uniform();
+    if (u < small_prob) {
+        // L1/L2 resident: 4KB - 256KB
+        return 4096ULL << rng.below(7);
+    }
+    if (u > 1.0 - huge_prob) {
+        // DRAM resident: 16MB - 256MB
+        return (16ULL << 20) << rng.below(5);
+    }
+    // LLC-ish: 512KB - 8MB
+    return (512ULL << 10) << rng.below(5);
+}
+
+/** Sample one kernel phase under a category prior. */
+KernelParams
+sampleKernel(const CategoryPrior &prior, Rng &rng)
+{
+    std::vector<double> weights(prior.kindWeights,
+                                prior.kindWeights + kNumKernelKinds);
+    KernelParams p;
+    p.kind = static_cast<KernelKind>(rng.weightedIndex(weights));
+    p.fp = rng.bernoulli(prior.fpProb);
+
+    switch (p.kind) {
+      case KernelKind::Stream:
+        p.workingSetBytes = sampleWorkingSet(rng, 0.2, 0.45);
+        p.computePerElem =
+            static_cast<uint8_t>(1 + rng.below(5));
+        p.strideBytes = rng.bernoulli(0.75)
+            ? 8 : static_cast<uint32_t>(8u << rng.below(5));
+        break;
+      case KernelKind::PointerChase:
+        p.workingSetBytes = sampleWorkingSet(rng, 0.15, 0.5);
+        // Some chases expose a few parallel pointer streams.
+        p.chains = rng.bernoulli(0.4)
+            ? static_cast<uint8_t>(4 + rng.below(5))
+            : 1;
+        break;
+      case KernelKind::Ilp:
+        p.chains = rng.bernoulli(prior.wideIlpProb)
+            ? static_cast<uint8_t>(8 + rng.below(9))
+            : static_cast<uint8_t>(2 + rng.below(4));
+        p.workingSetBytes = 16 * 1024;
+        break;
+      case KernelKind::Branchy:
+        p.predictability = rng.uniform(0.55, 0.99);
+        p.workingSetBytes = sampleWorkingSet(rng, 0.5, 0.05);
+        break;
+      case KernelKind::MlpRich:
+        // Mostly at-or-below the per-cluster MSHR count (gating is
+        // free), occasionally beyond it (the wide mode's second
+        // memory unit matters): the telemetry signature of the two
+        // regimes is identical except to latency/occupancy counters.
+        p.mlpDegree = rng.bernoulli(0.8)
+            ? static_cast<uint8_t>(7 + rng.below(4))
+            : static_cast<uint8_t>(11 + rng.below(4));
+        p.computePerElem = static_cast<uint8_t>(1 + rng.below(3));
+        p.workingSetBytes = sampleWorkingSet(rng, 0.0, 0.7);
+        break;
+      case KernelKind::Stencil:
+        p.workingSetBytes = sampleWorkingSet(rng, 0.25, 0.35);
+        p.strideBytes = static_cast<uint32_t>(8u << rng.below(6));
+        break;
+      case KernelKind::FpSerial:
+        p.fp = true;
+        p.workingSetBytes = 32 * 1024;
+        break;
+      default:
+        panic("unreachable kernel kind");
+    }
+    return p;
+}
+
+} // namespace
+
+AppGenome
+sampleGenome(AppCategory cat, uint64_t seed)
+{
+    Rng rng(mixSeeds(0x9e11a51ed5ca11edULL, seed));
+    const CategoryPrior &prior = categoryPrior(cat);
+
+    AppGenome app;
+    app.category = cat;
+    app.seed = seed;
+    app.name = std::string(appCategoryName(cat)) + "_" +
+        std::to_string(seed & 0xffffff);
+
+    const int num_phases = 2 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < num_phases; ++i) {
+        PhaseSpec phase;
+        phase.kernel = sampleKernel(prior, rng);
+        phase.weight = rng.logNormal(0.0, 0.7);
+        phase.meanLenInstr = rng.uniform(120e3, 500e3);
+        app.phases.push_back(phase);
+    }
+    return app;
+}
+
+} // namespace psca

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Micro-op record produced by the synthetic trace generator and
+ * consumed by the clustered core timing model. One record per
+ * dynamic micro-op, in program order.
+ */
+
+#ifndef PSCA_TRACE_UOP_HH
+#define PSCA_TRACE_UOP_HH
+
+#include <cstdint>
+
+namespace psca {
+
+/** Functional class of a micro-op; drives latency and port binding. */
+enum class OpClass : uint8_t
+{
+    IntAlu,     //!< 1-cycle integer ALU op
+    IntMul,     //!< 3-cycle integer multiply
+    IntDiv,     //!< 20-cycle unpipelined integer divide
+    FpAdd,      //!< 4-cycle FP add/sub
+    FpMul,      //!< 4-cycle FP multiply
+    FpDiv,      //!< 14-cycle unpipelined FP divide
+    FpFma,      //!< 5-cycle fused multiply-add
+    Load,       //!< memory load; latency from cache model
+    Store,      //!< memory store; retires via the store queue
+    Branch,     //!< conditional direct branch
+    Nop,        //!< no-op (pipeline filler)
+    NumClasses
+};
+
+/** Number of OpClass values, for table sizing. */
+constexpr size_t kNumOpClasses = static_cast<size_t>(OpClass::NumClasses);
+
+/** Number of architectural registers visible to the generator. */
+constexpr int kNumArchRegs = 48;
+
+/** Marker for an absent register operand. */
+constexpr int8_t kNoReg = -1;
+
+/**
+ * One dynamic micro-op. The generator fills every field; the timing
+ * model never needs to decode anything.
+ */
+struct MicroOp
+{
+    uint64_t pc = 0;        //!< static instruction address
+    uint64_t addr = 0;      //!< effective address (Load/Store only)
+    OpClass cls = OpClass::Nop;
+    int8_t dst = kNoReg;    //!< destination register or kNoReg
+    int8_t src0 = kNoReg;   //!< first source or kNoReg
+    int8_t src1 = kNoReg;   //!< second source or kNoReg
+    uint8_t memSize = 0;    //!< access size in bytes (Load/Store only)
+    bool branchTaken = false; //!< resolved direction (Branch only)
+
+    bool isLoad() const { return cls == OpClass::Load; }
+    bool isStore() const { return cls == OpClass::Store; }
+    bool isBranch() const { return cls == OpClass::Branch; }
+    bool isMem() const { return isLoad() || isStore(); }
+
+    bool
+    isFp() const
+    {
+        return cls == OpClass::FpAdd || cls == OpClass::FpMul ||
+               cls == OpClass::FpDiv || cls == OpClass::FpFma;
+    }
+};
+
+/** Short mnemonic for an OpClass, for debug dumps. */
+const char *opClassName(OpClass cls);
+
+} // namespace psca
+
+#endif // PSCA_TRACE_UOP_HH

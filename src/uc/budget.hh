@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Microcontroller computation budget (Sec. 5, Table 3 left). The CPU
+ * retires up to 16,000 MIPS (2 GHz x 8-wide); the microcontroller is
+ * 500 MIPS single-issue, of which 50% of cycles are safely available
+ * for adaptation inference without disturbing existing real-time
+ * work. A model predicting every L instructions may therefore spend
+ * at most L / 32 / 2 microcontroller operations per prediction.
+ */
+
+#ifndef PSCA_UC_BUDGET_HH
+#define PSCA_UC_BUDGET_HH
+
+#include <cstdint>
+
+namespace psca {
+
+/** The budget arithmetic of Table 3. */
+struct UcBudget
+{
+    double cpuMips = 16000.0;
+    double ucMips = 500.0;
+    double dutyAvailable = 0.5;
+
+    /** Total microcontroller ops elapsing per L CPU instructions. */
+    uint64_t
+    maxOps(uint64_t granularity_instr) const
+    {
+        return static_cast<uint64_t>(
+            static_cast<double>(granularity_instr) * ucMips / cpuMips);
+    }
+
+    /** Ops available for one prediction at granularity L. */
+    uint64_t
+    opsBudget(uint64_t granularity_instr) const
+    {
+        return static_cast<uint64_t>(
+            static_cast<double>(maxOps(granularity_instr)) *
+            dutyAvailable);
+    }
+
+    /**
+     * Finest prediction granularity (multiple of 10k instructions,
+     * 10k..10M) whose budget covers ops_per_inference; returns 0 when
+     * even 10M instructions is insufficient.
+     */
+    uint64_t
+    finestGranularity(uint64_t ops_per_inference) const
+    {
+        for (uint64_t l = 10000; l <= 10000000; l += 10000)
+            if (opsBudget(l) >= ops_per_inference)
+                return l;
+        return 0;
+    }
+};
+
+} // namespace psca
+
+#endif // PSCA_UC_BUDGET_HH

@@ -1,0 +1,242 @@
+#include "uc/compilers.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace psca {
+
+namespace {
+
+/** Register allocation map shared by the compilers. */
+constexpr uint16_t kInputBase = 0;    //!< inputs land in f[0..63]
+constexpr uint16_t kBankA = 64;       //!< layer activations (even)
+constexpr uint16_t kBankB = 128;      //!< layer activations (odd)
+constexpr uint16_t kAcc = 250;        //!< accumulator
+constexpr uint16_t kTmp = 251;
+constexpr uint16_t kTmp2 = 252;
+constexpr uint16_t kZero = 253;
+constexpr uint16_t kOne = 254;
+
+void
+emit(UcProgram &prog, UcOpcode op, uint16_t dst, uint16_t a = 0,
+     uint16_t b = 0, float imm = 0.0f, int32_t ia = 0, int32_t ib = 0)
+{
+    prog.code.push_back(UcInst{op, dst, a, b, imm, ia, ib});
+}
+
+/** Load the raw counter inputs into the register file. */
+void
+emitInputPrologue(UcProgram &prog, size_t num_inputs)
+{
+    PSCA_ASSERT(num_inputs <= 64, "too many inputs for register file");
+    prog.numInputs = static_cast<uint16_t>(num_inputs);
+    for (size_t i = 0; i < num_inputs; ++i) {
+        emit(prog, UcOpcode::LoadInput,
+             static_cast<uint16_t>(kInputBase + i),
+             static_cast<uint16_t>(i));
+    }
+}
+
+/** sigmoid(f[src]) -> f[dst], branch-free. */
+void
+emitSigmoid(UcProgram &prog, uint16_t dst, uint16_t src)
+{
+    emit(prog, UcOpcode::LoadImm, kZero, 0, 0, 0.0f);
+    emit(prog, UcOpcode::LoadImm, kOne, 0, 0, 1.0f);
+    emit(prog, UcOpcode::Sub, kTmp, kZero, src);     // -z
+    emit(prog, UcOpcode::Exp, kTmp, kTmp);           // exp(-z)
+    emit(prog, UcOpcode::Add, kTmp, kTmp, kOne);     // 1 + exp(-z)
+    emit(prog, UcOpcode::Div, dst, kOne, kTmp);      // 1 / (1+exp(-z))
+}
+
+} // namespace
+
+UcProgram
+compileMlp(const MlpModel &model)
+{
+    UcProgram prog;
+    emitInputPrologue(prog, model.numInputs());
+
+    const auto &sizes = model.layerSizes();
+    const size_t num_layers = sizes.size() - 1;
+
+    uint16_t in_base = kInputBase;
+    for (size_t l = 0; l < num_layers; ++l) {
+        const int fan_in = sizes[l];
+        const int fan_out = sizes[l + 1];
+        const uint16_t out_base = (l % 2 == 0) ? kBankA : kBankB;
+        const bool last = l + 1 == num_layers;
+
+        // Stash the layer's weights and biases in constant memory.
+        const size_t w_base = prog.mem.size();
+        const auto &w = model.weights(l);
+        prog.mem.insert(prog.mem.end(), w.begin(), w.end());
+        const size_t b_base = prog.mem.size();
+        const auto &b = model.biases(l);
+        prog.mem.insert(prog.mem.end(), b.begin(), b.end());
+
+        for (int f = 0; f < fan_out; ++f) {
+            emit(prog, UcOpcode::LoadMem, kAcc,
+                 static_cast<uint16_t>(b_base + f));
+            for (int i = 0; i < fan_in; ++i) {
+                // The Listing 1 triple: fld / fmul / fadd.
+                emit(prog, UcOpcode::LoadMem, kTmp,
+                     static_cast<uint16_t>(w_base +
+                                           static_cast<size_t>(f) *
+                                               fan_in + i));
+                emit(prog, UcOpcode::Mul, kTmp, kTmp,
+                     static_cast<uint16_t>(in_base + i));
+                emit(prog, UcOpcode::Add, kAcc, kAcc, kTmp);
+            }
+            if (last) {
+                emit(prog, UcOpcode::Move,
+                     static_cast<uint16_t>(out_base + f), kAcc);
+            } else {
+                emit(prog, UcOpcode::Relu,
+                     static_cast<uint16_t>(out_base + f), kAcc);
+            }
+        }
+        in_base = out_base;
+    }
+
+    emitSigmoid(prog, kAcc, in_base);
+    emit(prog, UcOpcode::Halt, kAcc);
+    return prog;
+}
+
+UcProgram
+compileLogistic(const LogisticRegression &model)
+{
+    UcProgram prog;
+    emitInputPrologue(prog, model.numInputs());
+
+    const auto &w = model.coefficients();
+    const size_t w_base = prog.mem.size();
+    for (double v : w)
+        prog.mem.push_back(static_cast<float>(v));
+    prog.mem.push_back(static_cast<float>(model.bias()));
+
+    emit(prog, UcOpcode::LoadMem, kAcc,
+         static_cast<uint16_t>(w_base + w.size()));
+    for (size_t i = 0; i < w.size(); ++i) {
+        emit(prog, UcOpcode::LoadMem, kTmp,
+             static_cast<uint16_t>(w_base + i));
+        emit(prog, UcOpcode::Mul, kTmp, kTmp,
+             static_cast<uint16_t>(kInputBase + i));
+        emit(prog, UcOpcode::Add, kAcc, kAcc, kTmp);
+    }
+    emitSigmoid(prog, kAcc, kAcc);
+    emit(prog, UcOpcode::Halt, kAcc);
+    return prog;
+}
+
+namespace {
+
+/**
+ * Flatten one sparse tree into full-depth heap-order tables. Leaves
+ * shallower than max depth become trivial always-left comparisons
+ * whose entire subtree carries the leaf's probability (so every
+ * traversal costs exactly depth levels, as in Listing 2).
+ */
+struct FlatTree
+{
+    std::vector<float> feature; //!< 2^d - 1 internal slots
+    std::vector<float> thresh;
+    std::vector<float> leafProb; //!< 2^d leaves
+
+    void
+    fill(const std::vector<DecisionTree::Node> &nodes, int32_t node_id,
+         size_t heap_idx, int depth, int max_depth)
+    {
+        const auto &node = nodes[static_cast<size_t>(node_id)];
+        if (depth == max_depth) {
+            leafProb[heap_idx - (feature.size())] = node.prob;
+            return;
+        }
+        if (node.feature >= 0) {
+            feature[heap_idx] = static_cast<float>(node.feature);
+            thresh[heap_idx] = node.threshold;
+            fill(nodes, node.left, 2 * heap_idx + 1, depth + 1,
+                 max_depth);
+            fill(nodes, node.right, 2 * heap_idx + 2, depth + 1,
+                 max_depth);
+        } else {
+            // Trivial comparison: x[0] > +inf is false -> go left;
+            // fill both subtrees so the table is fully defined.
+            feature[heap_idx] = 0.0f;
+            thresh[heap_idx] = std::numeric_limits<float>::max();
+            fill(nodes, node_id, 2 * heap_idx + 1, depth + 1,
+                 max_depth);
+            fill(nodes, node_id, 2 * heap_idx + 2, depth + 1,
+                 max_depth);
+        }
+    }
+};
+
+} // namespace
+
+UcProgram
+compileForest(const RandomForest &model)
+{
+    UcProgram prog;
+    emitInputPrologue(prog, model.numInputs());
+
+    const uint16_t vote = kAcc;
+    emit(prog, UcOpcode::LoadImm, vote, 0, 0, 0.0f);
+
+    constexpr uint16_t kIdx = 1;   // integer index register
+    constexpr uint16_t kICmp = 2;
+
+    for (const auto &tree : model.trees()) {
+        const int depth = tree->maxDepth();
+        const size_t internal = (1ULL << depth) - 1;
+        const size_t leaves = 1ULL << depth;
+
+        FlatTree flat;
+        flat.feature.assign(internal, 0.0f);
+        flat.thresh.assign(internal,
+                           std::numeric_limits<float>::max());
+        flat.leafProb.assign(leaves, 0.5f);
+        flat.fill(tree->nodes(), 0, 0, 0, depth);
+
+        const size_t feat_base = prog.mem.size();
+        prog.mem.insert(prog.mem.end(), flat.feature.begin(),
+                        flat.feature.end());
+        const size_t thresh_base = prog.mem.size();
+        prog.mem.insert(prog.mem.end(), flat.thresh.begin(),
+                        flat.thresh.end());
+        const size_t leaf_base = prog.mem.size();
+        prog.mem.insert(prog.mem.end(), flat.leafProb.begin(),
+                        flat.leafProb.end());
+
+        emit(prog, UcOpcode::ILoadImm, kIdx, 0, 0, 0.0f, 0);
+        for (int level = 0; level < depth; ++level) {
+            // The 8-op Listing 2 level: fetch feature id and
+            // threshold, compare, advance the heap index.
+            emit(prog, UcOpcode::LoadMemInd, kTmp, kIdx, 0, 0.0f, 0,
+                 static_cast<int32_t>(feat_base));
+            emit(prog, UcOpcode::IFromF, kICmp, kTmp);
+            emit(prog, UcOpcode::LoadInputInd, kTmp, kICmp);
+            emit(prog, UcOpcode::LoadMemInd, kTmp2, kIdx, 0, 0.0f, 0,
+                 static_cast<int32_t>(thresh_base));
+            emit(prog, UcOpcode::CmpGt, kTmp, kTmp, kTmp2);
+            emit(prog, UcOpcode::IFromF, kICmp, kTmp);
+            emit(prog, UcOpcode::IMulAddImm, kIdx, kIdx, 0, 0.0f, 2, 1);
+            emit(prog, UcOpcode::IAdd, kIdx, kIdx, kICmp);
+        }
+        // Leaf lookup: heap leaf indices start at 2^depth - 1.
+        emit(prog, UcOpcode::LoadMemInd, kTmp, kIdx, 0, 0.0f, 0,
+             static_cast<int32_t>(leaf_base) -
+                 static_cast<int32_t>(internal));
+        emit(prog, UcOpcode::Add, vote, vote, kTmp);
+    }
+
+    // Average the votes.
+    emit(prog, UcOpcode::LoadImm, kTmp, 0, 0,
+         1.0f / static_cast<float>(model.trees().size()));
+    emit(prog, UcOpcode::Mul, vote, vote, kTmp);
+    emit(prog, UcOpcode::Halt, vote);
+    return prog;
+}
+
+} // namespace psca

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Model-to-firmware compilers. Each compiler lowers a trained
+ * adaptation model into a branch-free UcProgram (Sec. 5, Listings
+ * 1-2): MLPs become sequences of load/multiply/accumulate triples
+ * with Relu macro-ops; random forests become index-arithmetic tree
+ * walks over full-depth node tables (trees are padded with trivial
+ * comparisons so every prediction costs the same); logistic
+ * regression becomes one inner product plus a branch-free sigmoid.
+ *
+ * Tests verify both that compiled programs reproduce the native
+ * models' scores and that their executed op counts match the models'
+ * advertised Table 3 costs.
+ */
+
+#ifndef PSCA_UC_COMPILERS_HH
+#define PSCA_UC_COMPILERS_HH
+
+#include "ml/linear.hh"
+#include "ml/mlp.hh"
+#include "ml/tree.hh"
+#include "uc/vm.hh"
+
+namespace psca {
+
+/** Lower an MLP to firmware. */
+UcProgram compileMlp(const MlpModel &model);
+
+/** Lower a random forest to firmware (padded, branch-free trees). */
+UcProgram compileForest(const RandomForest &model);
+
+/** Lower a logistic regression to firmware. */
+UcProgram compileLogistic(const LogisticRegression &model);
+
+} // namespace psca
+
+#endif // PSCA_UC_COMPILERS_HH

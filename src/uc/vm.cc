@@ -1,0 +1,123 @@
+#include "uc/vm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psca {
+
+uint32_t
+UcVm::opCost(UcOpcode op)
+{
+    switch (op) {
+      case UcOpcode::Relu: return 6;
+      case UcOpcode::Exp: return 122;
+      case UcOpcode::Halt: return 0;
+      default: return 1;
+    }
+}
+
+uint64_t
+UcProgram::staticOpCount() const
+{
+    uint64_t ops = 0;
+    for (const auto &inst : code)
+        ops += UcVm::opCost(inst.op);
+    return ops;
+}
+
+size_t
+UcProgram::imageBytes() const
+{
+    return code.size() * 8 + mem.size() * sizeof(float);
+}
+
+double
+UcVm::run(const UcProgram &program, const float *inputs,
+          size_t num_inputs)
+{
+    PSCA_ASSERT(num_inputs >= program.numInputs,
+                "program expects more inputs than provided");
+    if (fregs_.size() < 256)
+        fregs_.assign(256, 0.0f);
+    if (iregs_.size() < 64)
+        iregs_.assign(64, 0);
+
+    ops_ = 0;
+    double result = 0.0;
+    for (const auto &inst : program.code) {
+        ops_ += opCost(inst.op);
+        switch (inst.op) {
+          case UcOpcode::LoadImm:
+            fregs_[inst.dst] = inst.imm;
+            break;
+          case UcOpcode::LoadInput:
+            fregs_[inst.dst] = inputs[inst.a];
+            break;
+          case UcOpcode::LoadInputInd:
+            PSCA_ASSERT(iregs_[inst.a] >= 0 &&
+                        static_cast<size_t>(iregs_[inst.a]) <
+                            num_inputs,
+                        "input index out of range");
+            fregs_[inst.dst] =
+                inputs[static_cast<size_t>(iregs_[inst.a])];
+            break;
+          case UcOpcode::LoadMem:
+            fregs_[inst.dst] = program.mem[inst.a];
+            break;
+          case UcOpcode::LoadMemInd: {
+            const size_t addr = static_cast<size_t>(
+                iregs_[inst.a] + inst.ib);
+            PSCA_ASSERT(addr < program.mem.size(),
+                        "memory index out of range");
+            fregs_[inst.dst] = program.mem[addr];
+            break;
+          }
+          case UcOpcode::Move:
+            fregs_[inst.dst] = fregs_[inst.a];
+            break;
+          case UcOpcode::Add:
+            fregs_[inst.dst] = fregs_[inst.a] + fregs_[inst.b];
+            break;
+          case UcOpcode::Sub:
+            fregs_[inst.dst] = fregs_[inst.a] - fregs_[inst.b];
+            break;
+          case UcOpcode::Mul:
+            fregs_[inst.dst] = fregs_[inst.a] * fregs_[inst.b];
+            break;
+          case UcOpcode::Div:
+            fregs_[inst.dst] = fregs_[inst.a] / fregs_[inst.b];
+            break;
+          case UcOpcode::CmpGt:
+            fregs_[inst.dst] =
+                fregs_[inst.a] > fregs_[inst.b] ? 1.0f : 0.0f;
+            break;
+          case UcOpcode::Relu:
+            fregs_[inst.dst] = std::max(fregs_[inst.a], 0.0f);
+            break;
+          case UcOpcode::Exp:
+            fregs_[inst.dst] = std::exp(fregs_[inst.a]);
+            break;
+          case UcOpcode::IFromF:
+            iregs_[inst.dst] = static_cast<int32_t>(fregs_[inst.a]);
+            break;
+          case UcOpcode::ILoadImm:
+            iregs_[inst.dst] = inst.ia;
+            break;
+          case UcOpcode::IMulAddImm:
+            iregs_[inst.dst] = iregs_[inst.a] * inst.ia + inst.ib;
+            break;
+          case UcOpcode::IAdd:
+            iregs_[inst.dst] = iregs_[inst.a] + iregs_[inst.b];
+            break;
+          case UcOpcode::Halt:
+            result = fregs_[inst.dst];
+            total_ops_ += ops_;
+            return result;
+        }
+    }
+    total_ops_ += ops_;
+    warn("firmware program missing Halt");
+    return result;
+}
+
+} // namespace psca

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Firmware virtual machine modeling the paper's on-die
+ * microcontroller: a 500-MIPS single-issue scalar machine with
+ * integer and floating-point operations and no vector unit (Sec. 3).
+ *
+ * Adaptation models are compiled to straight-line, branch-free
+ * programs (the paper hand-optimizes firmware to remove conditional
+ * branches, Listing 2). The VM counts executed operations so the
+ * Table 3 ops-per-prediction numbers are measured, not asserted:
+ * every opcode costs one microcontroller operation except the two
+ * macro-ops Relu (6 ops, the x87 sequence of Listing 1) and Exp
+ * (122 ops, an unrolled branch-free exp()).
+ */
+
+#ifndef PSCA_UC_VM_HH
+#define PSCA_UC_VM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace psca {
+
+/** Firmware opcodes. */
+enum class UcOpcode : uint8_t
+{
+    LoadImm,     //!< f[dst] = imm
+    LoadInput,   //!< f[dst] = input[a]
+    LoadInputInd,//!< f[dst] = input[i[a]]
+    LoadMem,     //!< f[dst] = mem[a]
+    LoadMemInd,  //!< f[dst] = mem[i[a] + b]
+    Move,        //!< f[dst] = f[a]
+    Add,         //!< f[dst] = f[a] + f[b]
+    Sub,         //!< f[dst] = f[a] - f[b]
+    Mul,         //!< f[dst] = f[a] * f[b]
+    Div,         //!< f[dst] = f[a] / f[b]
+    CmpGt,       //!< f[dst] = f[a] > f[b] ? 1.0 : 0.0
+    Relu,        //!< f[dst] = max(f[a], 0); 6-op macro (Listing 1)
+    Exp,         //!< f[dst] = exp(f[a]); 122-op macro
+    IFromF,      //!< i[dst] = (int)f[a]
+    ILoadImm,    //!< i[dst] = ia (immediate)
+    IMulAddImm,  //!< i[dst] = i[a] * ia + ib
+    IAdd,        //!< i[dst] = i[a] + i[b]
+    Halt         //!< stop; f[dst] is the prediction score
+};
+
+/** One firmware instruction. */
+struct UcInst
+{
+    UcOpcode op = UcOpcode::Halt;
+    uint16_t dst = 0;
+    uint16_t a = 0;
+    uint16_t b = 0;
+    float imm = 0.0f;
+    int32_t ia = 0;
+    int32_t ib = 0;
+};
+
+/** A compiled firmware program plus its constant memory image. */
+struct UcProgram
+{
+    std::vector<UcInst> code;
+    std::vector<float> mem;
+    uint16_t numInputs = 0;
+
+    /** Static operation count (what one execution will cost). */
+    uint64_t staticOpCount() const;
+
+    /** Firmware image size in bytes (code + constant memory). */
+    size_t imageBytes() const;
+};
+
+/** Executes firmware programs, counting microcontroller operations. */
+class UcVm
+{
+  public:
+    /**
+     * Run a program on one input vector.
+     * @return The prediction score left by Halt.
+     */
+    double run(const UcProgram &program, const float *inputs,
+               size_t num_inputs);
+
+    /** Operations executed by the last run(). */
+    uint64_t opsExecuted() const { return ops_; }
+
+    /** Cumulative operations across all runs. */
+    uint64_t totalOps() const { return total_ops_; }
+
+    /** Microcode cost of an opcode in microcontroller operations. */
+    static uint32_t opCost(UcOpcode op);
+
+  private:
+    std::vector<float> fregs_;
+    std::vector<int32_t> iregs_;
+    uint64_t ops_ = 0;
+    uint64_t total_ops_ = 0;
+};
+
+} // namespace psca
+
+#endif // PSCA_UC_VM_HH

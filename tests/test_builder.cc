@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for dual-mode recording, label construction (Fig. 3 timing),
+ * granularity re-aggregation, and the disk cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/builder.hh"
+
+using namespace psca;
+
+namespace {
+
+BuildConfig
+smallConfig()
+{
+    BuildConfig cfg;
+    cfg.intervalInstr = 10000;
+    cfg.warmupInstr = 20000;
+    cfg.counterIds = {
+        CounterRegistry::index(Ctr::InstRetired),
+        CounterRegistry::index(Ctr::L1dMiss),
+        CounterRegistry::index(Ctr::UopsStalledOnDep),
+        CounterRegistry::index(Ctr::BranchMispred),
+    };
+    return cfg;
+}
+
+Workload
+kernelWorkload(KernelParams kp, uint64_t len, const char *name)
+{
+    AppGenome g;
+    g.name = name;
+    g.seed = 31;
+    PhaseSpec p;
+    p.kernel = kp;
+    p.meanLenInstr = 1e9;
+    g.phases = {p};
+    Workload w;
+    w.genome = g;
+    w.inputSeed = 1;
+    w.lengthInstr = len;
+    w.name = name;
+    return w;
+}
+
+} // namespace
+
+TEST(Builder, RecordShapes)
+{
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::Ilp, .chains = 4}, 80000, "shapes");
+    const TraceRecord r = recordTrace(w, cfg, 3, 7);
+    EXPECT_EQ(r.numIntervals(), 8u);
+    EXPECT_EQ(r.numCounters, 4u);
+    EXPECT_EQ(r.deltaHigh.size(), 8u * 4u);
+    EXPECT_EQ(r.appId, 3u);
+    EXPECT_EQ(r.traceId, 7u);
+}
+
+TEST(Builder, InstRetiredDeltaMatchesInterval)
+{
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::Branchy, .workingSetBytes = 1 << 20},
+        60000, "delta");
+    const TraceRecord r = recordTrace(w, cfg, 0, 0);
+    for (size_t t = 0; t < r.numIntervals(); ++t) {
+        EXPECT_FLOAT_EQ(r.rowHigh(t)[0], 10000.0f);
+        EXPECT_FLOAT_EQ(r.rowLow(t)[0], 10000.0f);
+    }
+}
+
+TEST(Builder, GateFriendlyKernelLabelsOne)
+{
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::PointerChase, .workingSetBytes = 32 << 20},
+        80000, "gate");
+    const TraceRecord r = recordTrace(w, cfg, 0, 0);
+    const auto labels = blockLabels(r, 1, 0.90);
+    size_t gates = 0;
+    for (uint8_t y : labels)
+        gates += y;
+    EXPECT_GE(gates, labels.size() - 1);
+}
+
+TEST(Builder, WidthHungryKernelLabelsZero)
+{
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::Ilp, .chains = 14}, 80000, "hungry");
+    const TraceRecord r = recordTrace(w, cfg, 0, 0);
+    const auto labels = blockLabels(r, 1, 0.90);
+    size_t gates = 0;
+    for (uint8_t y : labels)
+        gates += y;
+    EXPECT_LE(gates, 1u);
+}
+
+TEST(Builder, SlaThresholdMonotonic)
+{
+    // Lowering pSla can only enable more gating (Table 5 relabeling).
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::Stencil, .workingSetBytes = 8 << 20},
+        100000, "sla");
+    const TraceRecord r = recordTrace(w, cfg, 0, 0);
+    size_t prev = 0;
+    for (double p : {0.95, 0.90, 0.80, 0.70}) {
+        const auto labels = blockLabels(r, 1, p);
+        size_t gates = 0;
+        for (uint8_t y : labels)
+            gates += y;
+        EXPECT_GE(gates, prev);
+        prev = gates;
+    }
+}
+
+TEST(Builder, AssemblePairsXtWithYtPlus2)
+{
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::Ilp, .chains = 4}, 100000, "t2");
+    const TraceRecord r = recordTrace(w, cfg, 5, 0);
+    AssemblyOptions opts;
+    opts.granularityInstr = 10000;
+    const Dataset d = assembleDataset({r}, opts, cfg.intervalInstr);
+    // 10 intervals -> samples for t = 0..7 (t+2 must exist).
+    EXPECT_EQ(d.numSamples(), r.numIntervals() - 2);
+    const auto labels = blockLabels(r, 1, opts.pSla);
+    for (size_t t = 0; t < d.numSamples(); ++t)
+        EXPECT_EQ(d.y[t], labels[t + 2]);
+    EXPECT_EQ(d.appId[0], 5u);
+}
+
+TEST(Builder, CoarserGranularityAggregates)
+{
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::Stream, .workingSetBytes = 1 << 20,
+         .computePerElem = 2},
+        200000, "agg");
+    const TraceRecord r = recordTrace(w, cfg, 0, 0);
+
+    AssemblyOptions fine, coarse;
+    fine.granularityInstr = 10000;
+    coarse.granularityInstr = 40000;
+    const Dataset df = assembleDataset({r}, fine, cfg.intervalInstr);
+    const Dataset dc = assembleDataset({r}, coarse, cfg.intervalInstr);
+    EXPECT_EQ(dc.numSamples(), r.numIntervals() / 4 - 2);
+    EXPECT_GT(df.numSamples(), dc.numSamples());
+    // Cycle-normalized feature 0 (inst retired / cycles = IPC) must
+    // stay in a plausible band after aggregation.
+    for (size_t i = 0; i < dc.numSamples(); ++i) {
+        EXPECT_GT(dc.row(i)[0], 0.0f);
+        EXPECT_LE(dc.row(i)[0], 4.01f);
+    }
+}
+
+TEST(Builder, ColumnSubsetSelected)
+{
+    const BuildConfig cfg = smallConfig();
+    const Workload w = kernelWorkload(
+        {.kind = KernelKind::Ilp, .chains = 4}, 80000, "cols");
+    const TraceRecord r = recordTrace(w, cfg, 0, 0);
+    AssemblyOptions opts;
+    opts.columns = {1, 3};
+    const Dataset d = assembleDataset({r}, opts, cfg.intervalInstr);
+    EXPECT_EQ(d.numFeatures, 2u);
+}
+
+TEST(Builder, CacheRoundTrip)
+{
+    setenv("PSCA_CACHE_DIR", "/tmp/psca_test_cache", 1);
+    std::filesystem::remove_all("/tmp/psca_test_cache");
+
+    const BuildConfig cfg = smallConfig();
+    std::vector<Workload> ws{
+        kernelWorkload({.kind = KernelKind::Ilp, .chains = 4}, 60000,
+                       "cache_a"),
+        kernelWorkload({.kind = KernelKind::FpSerial, .fp = true},
+                       60000, "cache_b")};
+    const auto first = recordCorpus(ws, {0, 1}, cfg, "test");
+    const auto second = recordCorpus(ws, {0, 1}, cfg, "test");
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].name, second[i].name);
+        EXPECT_EQ(first[i].cyclesHigh, second[i].cyclesHigh);
+        EXPECT_EQ(first[i].deltaLow, second[i].deltaLow);
+    }
+    unsetenv("PSCA_CACHE_DIR");
+}
+
+TEST(Builder, IdealResidencyBounds)
+{
+    const BuildConfig cfg = smallConfig();
+    const TraceRecord gate = recordTrace(
+        kernelWorkload({.kind = KernelKind::PointerChase,
+                        .workingSetBytes = 32 << 20},
+                       60000, "res_g"),
+        cfg, 0, 0);
+    const TraceRecord hungry = recordTrace(
+        kernelWorkload({.kind = KernelKind::Ilp, .chains = 14}, 60000,
+                       "res_h"),
+        cfg, 1, 1);
+    EXPECT_GT(idealLowPowerResidency({gate}, 0.9), 0.8);
+    EXPECT_LT(idealLowPowerResidency({hungry}, 0.9), 0.2);
+    const double mixed = idealLowPowerResidency({gate, hungry}, 0.9);
+    EXPECT_GT(mixed, 0.3);
+    EXPECT_LT(mixed, 0.7);
+}

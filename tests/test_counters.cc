@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the 936-counter telemetry registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "telemetry/counters.hh"
+
+using namespace psca;
+
+TEST(Registry, Exactly936Counters)
+{
+    EXPECT_EQ(CounterRegistry::instance().numCounters(),
+              kNumTelemetryCounters);
+    EXPECT_EQ(kNumTelemetryCounters, 936u);
+}
+
+TEST(Registry, NamesAreUnique)
+{
+    const auto &reg = CounterRegistry::instance();
+    std::set<std::string> names;
+    for (size_t i = 0; i < reg.numCounters(); ++i)
+        names.insert(reg.name(static_cast<uint16_t>(i)));
+    EXPECT_EQ(names.size(), reg.numCounters());
+}
+
+TEST(Registry, Table4CounterNamesExist)
+{
+    // The paper's Table 4 counters must be resolvable by name.
+    const char *const names[] = {
+        "Micro Op Cache Misses", "L2 Silent Evictions",
+        "Wrong-Path uOps Flushed", "Store Queue Occupancy",
+        "L1 Data Cache Reads", "Stall Count",
+        "Physical Register Ref. Count", "Loads Retired",
+        "L1 Data Cache Hits", "Micro Op Cache Hits",
+        "Micro Ops Stalled on Dep.", "Micro Ops Ready",
+    };
+    const auto &reg = CounterRegistry::instance();
+    for (const char *n : names)
+        EXPECT_LT(reg.indexOf(n), reg.numCounters()) << n;
+}
+
+TEST(Registry, CharstarCounterNamesExist)
+{
+    const char *const names[] = {
+        "Branch Mispredictions", "Instruction Cache Misses",
+        "L1 Data Cache Misses", "L2 Cache Misses",
+        "Instructions Retired", "I-TLB Misses", "D-TLB Misses",
+        "Stall Count",
+    };
+    const auto &reg = CounterRegistry::instance();
+    for (const char *n : names)
+        EXPECT_LT(reg.indexOf(n), reg.numCounters()) << n;
+}
+
+TEST(Registry, ScalarIndexMatchesEnumOrder)
+{
+    const auto &reg = CounterRegistry::instance();
+    EXPECT_EQ(reg.name(CounterRegistry::index(Ctr::Cycles)), "Cycles");
+    EXPECT_EQ(reg.name(CounterRegistry::index(Ctr::LoadsRetired)),
+              "Loads Retired");
+}
+
+TEST(Registry, PerClusterIndicesDistinct)
+{
+    const auto &reg = CounterRegistry::instance();
+    const uint16_t a = reg.index(ClusterCtr::UopsIssued, 0);
+    const uint16_t b = reg.index(ClusterCtr::UopsIssued, 1);
+    EXPECT_NE(a, b);
+    EXPECT_NE(reg.name(a), reg.name(b));
+}
+
+TEST(Registry, FamilyRangesDoNotOverlap)
+{
+    const auto &reg = CounterRegistry::instance();
+    for (size_t f = 0; f + 1 < static_cast<size_t>(
+             CtrFamily::NumFamilies); ++f) {
+        const auto fam = static_cast<CtrFamily>(f);
+        const auto next = static_cast<CtrFamily>(f + 1);
+        EXPECT_LE(reg.familyBase(fam) + reg.familySize(fam),
+                  reg.familyBase(next));
+    }
+}
+
+TEST(Registry, ReservedCountersAtTail)
+{
+    const auto &reg = CounterRegistry::instance();
+    EXPECT_LT(reg.reservedBase(), reg.numCounters());
+    EXPECT_EQ(reg.name(reg.reservedBase()).substr(0, 8), "Reserved");
+}
+
+TEST(Counters, IncAndMirrorSync)
+{
+    Counters c;
+    c.inc(Ctr::L1dMiss, 7);
+    EXPECT_EQ(c.value(Ctr::L1dMiss), 7u);
+    c.syncMirrors();
+    const auto &reg = CounterRegistry::instance();
+    // Find the mirror of L1dMiss and check it copied.
+    bool found = false;
+    for (size_t k = 0; k < reg.numMirrors(); ++k) {
+        if (reg.mirrorSource(k) == CounterRegistry::index(Ctr::L1dMiss)) {
+            EXPECT_EQ(c.value(reg.mirrorIndex(k)), 7u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Counters, ResetZeroes)
+{
+    Counters c;
+    c.inc(Ctr::Cycles, 100);
+    c.reset();
+    EXPECT_EQ(c.value(Ctr::Cycles), 0u);
+}
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(CounterRegistry::instance().indexOf("No Such Counter"),
+                 "unknown counter");
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * End-to-end integration tests on miniature corpora: train dual
+ * models from recorded telemetry and verify the closed loop realizes
+ * PPW without SLA violations, plus the post-silicon retraining flows
+ * of Sec. 7.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/pipeline.hh"
+
+using namespace psca;
+
+namespace {
+
+/** Miniature experiment context built without the disk cache. */
+class MiniPipeline : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setenv("PSCA_CACHE_DIR", "/tmp/psca_test_cache_integ", 1);
+        std::filesystem::remove_all("/tmp/psca_test_cache_integ");
+
+        build_.intervalInstr = 10000;
+        build_.warmupInstr = 20000;
+        const auto &reg = CounterRegistry::instance();
+        build_.counterIds = {
+            CounterRegistry::index(Ctr::InstRetired),
+            CounterRegistry::index(Ctr::StallCount),
+            CounterRegistry::index(Ctr::L1dMiss),
+            CounterRegistry::index(Ctr::LoadLatSum),
+            CounterRegistry::index(Ctr::MshrOccSum),
+            CounterRegistry::index(Ctr::UopsStalledOnDep),
+            CounterRegistry::index(Ctr::UopsReady),
+            reg.index(ClusterCtr::RsOccSum, 0),
+        };
+
+        // 24 HDTR-prior apps, one 200k trace each.
+        const auto apps = buildHdtrApps(24);
+        std::vector<Workload> ws;
+        std::vector<uint32_t> ids;
+        for (size_t a = 0; a < apps.size(); ++a) {
+            Workload w;
+            w.genome = apps[a];
+            w.inputSeed = 1;
+            w.lengthInstr = 200000;
+            w.name = apps[a].name;
+            ws.push_back(w);
+            ids.push_back(static_cast<uint32_t>(a));
+        }
+        hdtr_ = recordCorpus(ws, ids, build_, "integ_hdtr");
+
+        // Two held-out SPEC-profile workloads.
+        const auto spec = buildSpecApps();
+        for (const auto &app : {spec[2] /*mcf*/, spec[5] /*x264*/}) {
+            Workload w;
+            w.genome = app.genome;
+            w.inputSeed = 1;
+            w.lengthInstr = 300000;
+            w.name = app.genome.name;
+            specWs_.push_back(w);
+        }
+        spec_.push_back(recordTrace(specWs_[0], build_, 100, 0));
+        spec_.push_back(recordTrace(specWs_[1], build_, 101, 1));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        unsetenv("PSCA_CACHE_DIR");
+    }
+
+    static BuildConfig build_;
+    static std::vector<TraceRecord> hdtr_;
+    static std::vector<TraceRecord> spec_;
+    static std::vector<Workload> specWs_;
+};
+
+BuildConfig MiniPipeline::build_;
+std::vector<TraceRecord> MiniPipeline::hdtr_;
+std::vector<TraceRecord> MiniPipeline::spec_;
+std::vector<Workload> MiniPipeline::specWs_;
+
+} // namespace
+
+TEST_F(MiniPipeline, DualRfRealizesPpwOnMemoryBoundApp)
+{
+    DualTrainOptions opts;
+    opts.granularityInstr = 20000;
+    opts.columns = {0, 1, 2, 3, 4, 5, 6, 7};
+    opts.rsvWindow = 16;
+    TrainedDual dual = trainDual(
+        hdtr_, build_, opts,
+        [](const Dataset &tune, uint64_t s) -> std::unique_ptr<Model> {
+            ForestConfig fc;
+            fc.numTrees = 8;
+            fc.maxDepth = 8;
+            fc.seed = s;
+            return std::make_unique<RandomForest>(tune, fc);
+        });
+
+    DualModelPredictor pred(dual.high, dual.low, opts.columns, 20000,
+                            "rf");
+    // mcf-like: memory bound, should gate heavily, gain PPW.
+    const auto r =
+        runClosedLoop(specWs_[0], spec_[0], pred, build_, SlaSpec{});
+    EXPECT_GT(r.ppwGainPct, 5.0);
+    EXPECT_GT(r.lowResidency, 0.2);
+    EXPECT_LT(r.rsv, 0.5);
+
+    // x264-like: width hungry, should mostly stay wide.
+    const auto r2 =
+        runClosedLoop(specWs_[1], spec_[1], pred, build_, SlaSpec{});
+    EXPECT_LT(r2.lowResidency, r.lowResidency);
+}
+
+TEST_F(MiniPipeline, RelabelingForLooserSlaGatesMore)
+{
+    // Table 5 mechanism: retraining to a looser SLA gates more.
+    double residency[2];
+    int i = 0;
+    for (double p_sla : {0.90, 0.70}) {
+        DualTrainOptions opts;
+        opts.granularityInstr = 20000;
+        opts.pSla = p_sla;
+        opts.columns = {0, 1, 2, 3, 4, 5, 6, 7};
+        opts.rsvWindow = 16;
+        TrainedDual dual = trainDual(
+            hdtr_, build_, opts,
+            [](const Dataset &tune,
+               uint64_t s) -> std::unique_ptr<Model> {
+                ForestConfig fc;
+                fc.numTrees = 8;
+                fc.maxDepth = 8;
+                fc.seed = s;
+                return std::make_unique<RandomForest>(tune, fc);
+            });
+        DualModelPredictor pred(dual.high, dual.low, opts.columns,
+                                20000, "rf");
+        SlaSpec sla;
+        sla.pSla = p_sla;
+        const auto r =
+            runClosedLoop(specWs_[0], spec_[0], pred, build_, sla);
+        residency[i++] = r.lowResidency;
+    }
+    EXPECT_GE(residency[1], residency[0]);
+}
+
+TEST_F(MiniPipeline, SrchPredictorRunsClosedLoop)
+{
+    const std::vector<size_t> cols{0, 1, 2, 3, 4, 5, 6, 7};
+    std::shared_ptr<SrchModel> models[2];
+    for (int m = 0; m < 2; ++m) {
+        AssemblyOptions ao;
+        ao.granularityInstr = build_.intervalInstr;
+        ao.telemetryMode =
+            m == 0 ? CoreMode::HighPerf : CoreMode::LowPower;
+        ao.columns = cols;
+        const Dataset per_interval =
+            assembleDataset(hdtr_, ao, build_.intervalInstr);
+        models[m] = std::make_shared<SrchModel>(per_interval, 4,
+                                                LogRegConfig{});
+    }
+    SrchPredictor pred(models[0], models[1], cols, 40000, "srch");
+    const auto r =
+        runClosedLoop(specWs_[0], spec_[0], pred, build_, SlaSpec{});
+    EXPECT_GT(r.numPredictions, 0u);
+    EXPECT_GE(r.pgos, 0.0);
+}
+
+TEST_F(MiniPipeline, DatasetsAreAppDisjointFromSpec)
+{
+    AssemblyOptions ao;
+    ao.granularityInstr = 20000;
+    const Dataset train = assembleDataset(hdtr_, ao,
+                                          build_.intervalInstr);
+    const Dataset test = assembleDataset(spec_, ao,
+                                         build_.intervalInstr);
+    for (uint32_t a : test.appId)
+        EXPECT_GE(a, 100u);
+    for (uint32_t a : train.appId)
+        EXPECT_LT(a, 100u);
+}

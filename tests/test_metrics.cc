@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the paper's metrics: confusion taxonomy, PGOS (Eq. 1),
+ * and RSV (Eqs. 2-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+#include "core/sla.hh"
+
+using namespace psca;
+
+TEST(Confusion, TaxonomyMatchesPaperTable)
+{
+    ConfusionCounts c;
+    c.add(true, true);   // gated correctly -> TP
+    c.add(true, false);  // gated wrongly -> FP
+    c.add(false, false); // stayed wide correctly -> TN
+    c.add(false, true);  // missed opportunity -> FN
+    EXPECT_EQ(c.truePositive, 1u);
+    EXPECT_EQ(c.falsePositive, 1u);
+    EXPECT_EQ(c.trueNegative, 1u);
+    EXPECT_EQ(c.falseNegative, 1u);
+    EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Confusion, PgosIsRecall)
+{
+    ConfusionCounts c;
+    for (int i = 0; i < 3; ++i)
+        c.add(true, true);
+    c.add(false, true);
+    EXPECT_DOUBLE_EQ(c.pgos(), 0.75);
+}
+
+TEST(Confusion, PgosNoOpportunitiesIsOne)
+{
+    ConfusionCounts c;
+    c.add(false, false);
+    EXPECT_DOUBLE_EQ(c.pgos(), 1.0);
+}
+
+TEST(Confusion, Merge)
+{
+    ConfusionCounts a, b;
+    a.add(true, true);
+    b.add(false, false);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 2u);
+    EXPECT_DOUBLE_EQ(a.accuracy(), 1.0);
+}
+
+TEST(Rsv, PerfectPredictionsNoViolations)
+{
+    std::vector<uint8_t> labels{1, 0, 1, 0, 1, 1, 0, 0};
+    EXPECT_DOUBLE_EQ(rsvForTrace(labels, labels, 4), 0.0);
+}
+
+TEST(Rsv, AllFalsePositivesViolate)
+{
+    std::vector<uint8_t> preds(16, 1), labels(16, 0);
+    EXPECT_DOUBLE_EQ(rsvForTrace(preds, labels, 4), 1.0);
+}
+
+TEST(Rsv, ThresholdIsMajorityOfWindow)
+{
+    // Window of 4: exactly 2 FPs -> expectation 0.5, NOT > 0.5.
+    std::vector<uint8_t> labels{0, 0, 0, 0};
+    std::vector<uint8_t> preds{1, 1, 0, 0};
+    EXPECT_DOUBLE_EQ(rsvForTrace(preds, labels, 4), 0.0);
+    // 3 of 4 FPs -> violation.
+    preds = {1, 1, 1, 0};
+    EXPECT_DOUBLE_EQ(rsvForTrace(preds, labels, 4), 1.0);
+}
+
+TEST(Rsv, FalseNegativesNeverViolate)
+{
+    // Predicting high-perf when gating was possible wastes energy
+    // but cannot violate the SLA.
+    std::vector<uint8_t> preds(16, 0), labels(16, 1);
+    EXPECT_DOUBLE_EQ(rsvForTrace(preds, labels, 4), 0.0);
+}
+
+TEST(Rsv, LocalizedBlindspotDetected)
+{
+    // 32 predictions; a systematic FP burst in one 8-wide region.
+    std::vector<uint8_t> labels(32, 0);
+    std::vector<uint8_t> preds(32, 0);
+    for (int i = 8; i < 16; ++i)
+        preds[i] = 1;
+    const double rsv = rsvForTrace(preds, labels, 8);
+    EXPECT_GT(rsv, 0.0);
+    EXPECT_LT(rsv, 0.5);
+}
+
+TEST(Rsv, WindowClampsToTraceLength)
+{
+    std::vector<uint8_t> labels{0, 0, 0};
+    std::vector<uint8_t> preds{1, 1, 1};
+    EXPECT_DOUBLE_EQ(rsvForTrace(preds, labels, 1600), 1.0);
+}
+
+TEST(Rsv, EmptyTraceIsZero)
+{
+    EXPECT_DOUBLE_EQ(rsvForTrace({}, {}, 4), 0.0);
+}
+
+TEST(Rsv, OverTracesAveragesPerTrace)
+{
+    std::vector<std::vector<uint8_t>> preds{{1, 1, 1, 1},
+                                            {0, 0, 0, 0}};
+    std::vector<std::vector<uint8_t>> labels{{0, 0, 0, 0},
+                                             {0, 0, 0, 0}};
+    EXPECT_DOUBLE_EQ(rsvOverTraces(preds, labels, 4), 0.5);
+}
+
+TEST(Sla, WindowPredictionsMatchesPaperExample)
+{
+    // Paper Sec. 4.2: W = 16 GIPS * 1 ms * (1 / 10k) = 1600.
+    SlaSpec sla;
+    EXPECT_EQ(sla.windowPredictions(16e9, 10000), 1600u);
+    EXPECT_EQ(sla.windowPredictions(16e9, 40000), 400u);
+}
+
+TEST(Sla, WindowNeverZero)
+{
+    SlaSpec sla;
+    EXPECT_GE(sla.windowPredictions(16e9, 10000000000ULL), 1u);
+}

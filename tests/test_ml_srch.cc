@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the SRCH baseline: quantile histogram encoding and the
+ * windowed dataset transformation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/srch.hh"
+
+using namespace psca;
+
+namespace {
+
+Dataset
+streamyData(size_t traces, size_t per_trace, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d;
+    d.numFeatures = 3;
+    for (size_t t = 0; t < traces; ++t) {
+        // Each trace has a regime: high-mean or low-mean counters.
+        const bool high = rng.bernoulli(0.5);
+        for (size_t i = 0; i < per_trace; ++i) {
+            float row[3];
+            for (auto &v : row)
+                v = static_cast<float>(
+                    rng.gaussian(high ? 4.0 : 1.0, 0.5));
+            d.addSample(row, high ? 1 : 0, static_cast<uint32_t>(t),
+                        static_cast<uint32_t>(t));
+        }
+    }
+    return d;
+}
+
+} // namespace
+
+TEST(HistogramEncoder, BucketsCoverRange)
+{
+    const Dataset d = streamyData(10, 50, 1);
+    const HistogramEncoder enc = HistogramEncoder::fit(d);
+    EXPECT_EQ(enc.numCounters(), 3u);
+    EXPECT_EQ(enc.numFeatures(), 30u);
+    EXPECT_EQ(enc.bucketOf(0, -100.0f), 0);
+    EXPECT_EQ(enc.bucketOf(0, 100.0f), HistogramEncoder::kBuckets - 1);
+}
+
+TEST(HistogramEncoder, EncodeNormalizes)
+{
+    const Dataset d = streamyData(10, 50, 2);
+    const HistogramEncoder enc = HistogramEncoder::fit(d);
+    std::vector<const float *> rows{d.row(0), d.row(1), d.row(2)};
+    std::vector<float> out(enc.numFeatures());
+    enc.encode(rows, out.data());
+    // Per counter, tallies sum to 1.
+    for (size_t c = 0; c < 3; ++c) {
+        float sum = 0.0f;
+        for (int b = 0; b < HistogramEncoder::kBuckets; ++b)
+            sum += out[c * HistogramEncoder::kBuckets +
+                       static_cast<size_t>(b)];
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(EncodeDataset, WindowingRespectsTraceBoundaries)
+{
+    const Dataset d = streamyData(4, 10, 3);
+    const HistogramEncoder enc = HistogramEncoder::fit(d);
+    const Dataset hist = encodeHistogramDataset(d, enc, 4);
+    // Each 10-sample trace yields floor(10/4) = 2 windows.
+    EXPECT_EQ(hist.numSamples(), 8u);
+    EXPECT_EQ(hist.numFeatures, enc.numFeatures());
+}
+
+TEST(EncodeDataset, WindowOneIsPerSample)
+{
+    const Dataset d = streamyData(2, 6, 4);
+    const HistogramEncoder enc = HistogramEncoder::fit(d);
+    const Dataset hist = encodeHistogramDataset(d, enc, 1);
+    EXPECT_EQ(hist.numSamples(), d.numSamples());
+}
+
+TEST(Srch, LearnsRegimes)
+{
+    const Dataset d = streamyData(60, 20, 5);
+    SrchModel model(d, 4, LogRegConfig{});
+    // Evaluate on fresh data from the same process.
+    const Dataset test = streamyData(20, 20, 6);
+    const Dataset hist =
+        encodeHistogramDataset(test, model.encoder(), 4);
+    size_t correct = 0;
+    for (size_t i = 0; i < hist.numSamples(); ++i)
+        correct += model.predict(hist.row(i)) == (hist.y[i] != 0);
+    EXPECT_GT(static_cast<double>(correct) /
+                  static_cast<double>(hist.numSamples()),
+              0.9);
+}
+
+TEST(Srch, OpsMatchDubachScale)
+{
+    // 15 counters x 10 buckets -> logistic on 150 features: 572 ops.
+    Rng rng(7);
+    Dataset d;
+    d.numFeatures = 15;
+    for (int i = 0; i < 200; ++i) {
+        float row[15];
+        for (auto &v : row)
+            v = static_cast<float>(rng.gaussian());
+        d.addSample(row, i % 2, 0, static_cast<uint32_t>(i / 50));
+    }
+    SrchModel model(d, 4, LogRegConfig{});
+    EXPECT_EQ(model.opsPerInference(), 572u);
+}

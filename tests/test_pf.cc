@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the screens and Perona-Freeman counter selection on
+ * synthetic records with known structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "core/pf_selection.hh"
+
+using namespace psca;
+
+namespace {
+
+/**
+ * Build a record whose counters follow a recipe: each counter is
+ * either dead (always zero), a noisy copy of one of `groups`
+ * independent signals, or independent noise.
+ */
+TraceRecord
+syntheticRecord(const std::vector<int> &recipe, size_t intervals,
+                uint64_t seed)
+{
+    // recipe[j] = -1 for dead, otherwise a signal-group id.
+    Rng rng(seed);
+    TraceRecord rec;
+    rec.numCounters = static_cast<uint16_t>(recipe.size());
+    const int num_groups =
+        1 + *std::max_element(recipe.begin(), recipe.end());
+    for (size_t t = 0; t < intervals; ++t) {
+        std::vector<double> signal(
+            static_cast<size_t>(num_groups));
+        for (auto &s : signal)
+            s = rng.gaussian(10.0, 3.0);
+        for (size_t j = 0; j < recipe.size(); ++j) {
+            const float v = recipe[j] < 0
+                ? 0.0f
+                : static_cast<float>(
+                      signal[static_cast<size_t>(recipe[j])] +
+                      rng.gaussian(0.0, 0.05));
+            rec.deltaLow.push_back(v);
+            rec.deltaHigh.push_back(v);
+        }
+        rec.cyclesLow.push_back(1.0f);
+        rec.cyclesHigh.push_back(1.0f);
+        rec.energyLowNj.push_back(0.0f);
+        rec.energyHighNj.push_back(0.0f);
+    }
+    return rec;
+}
+
+PfConfig
+openConfig()
+{
+    PfConfig cfg;
+    cfg.stdDevCullFraction = 0.0;
+    cfg.zeroFractionPerTrace = 0.5;
+    cfg.flaggedTraceFraction = 0.5;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PfSelection, ActivityScreenDropsDeadCounters)
+{
+    // Counters 2 and 5 are dead.
+    const std::vector<int> recipe{0, 1, -1, 2, 3, -1};
+    const TraceRecord rec = syntheticRecord(recipe, 300, 1);
+    PfConfig cfg = openConfig();
+    cfg.numToSelect = 4;
+    const PfResult res =
+        pfCounterSelection({rec}, cfg, CoreMode::LowPower);
+    EXPECT_EQ(res.afterActivityScreen, 4u);
+    for (uint16_t s : res.selected) {
+        EXPECT_NE(s, 2);
+        EXPECT_NE(s, 5);
+    }
+}
+
+TEST(PfSelection, RedundantGroupYieldsOneRepresentative)
+{
+    // Three copies of signal 0, two of signal 1, one of 2 and 3.
+    const std::vector<int> recipe{0, 0, 0, 1, 1, 2, 3};
+    const TraceRecord rec = syntheticRecord(recipe, 400, 2);
+    PfConfig cfg = openConfig();
+    cfg.numToSelect = 4;
+    const PfResult res =
+        pfCounterSelection({rec}, cfg, CoreMode::LowPower);
+    // Grouping may conservatively fold a borderline signal into a
+    // neighbour, but every pick must represent a distinct signal.
+    ASSERT_GE(res.selected.size(), 3u);
+    std::set<int> signals;
+    for (uint16_t s : res.selected)
+        signals.insert(recipe[s]);
+    EXPECT_EQ(signals.size(), res.selected.size());
+}
+
+TEST(PfSelection, StdDevScreenCullsQuietCounters)
+{
+    // Counter 0 carries signal; counters 1-3 are near-constant.
+    Rng rng(3);
+    TraceRecord rec;
+    rec.numCounters = 4;
+    for (size_t t = 0; t < 300; ++t) {
+        rec.deltaLow.push_back(
+            static_cast<float>(rng.gaussian(100.0, 30.0)));
+        for (int j = 0; j < 3; ++j)
+            rec.deltaLow.push_back(
+                static_cast<float>(rng.gaussian(100.0, 0.01)));
+        for (int j = 0; j < 4; ++j)
+            rec.deltaHigh.push_back(rec.deltaLow[t * 4 +
+                                                 static_cast<size_t>(j)]);
+        rec.cyclesLow.push_back(1.0f);
+        rec.cyclesHigh.push_back(1.0f);
+        rec.energyLowNj.push_back(0.0f);
+        rec.energyHighNj.push_back(0.0f);
+    }
+    PfConfig cfg = openConfig();
+    cfg.stdDevCullFraction = 0.75;
+    cfg.numToSelect = 1;
+    const PfResult res =
+        pfCounterSelection({rec}, cfg, CoreMode::LowPower);
+    ASSERT_FALSE(res.selected.empty());
+    EXPECT_EQ(res.selected[0], 0);
+}
+
+TEST(PfSelection, RankDepthBoundedByIndependentSignals)
+{
+    const std::vector<int> recipe{0, 0, 1, 1, 2, 2, 3, 3};
+    const TraceRecord rec = syntheticRecord(recipe, 400, 4);
+    PfConfig cfg = openConfig();
+    cfg.numToSelect = 8;
+    const PfResult res =
+        pfCounterSelection({rec}, cfg, CoreMode::LowPower);
+    // Only 4 independent signals exist; duplicates must be grouped
+    // away rather than ranked.
+    EXPECT_LE(res.selected.size(), 4u);
+    std::set<int> signals;
+    for (uint16_t s : res.selected)
+        signals.insert(recipe[s]);
+    EXPECT_EQ(signals.size(), res.selected.size());
+}
+
+TEST(PfSelection, DeterministicGivenRecords)
+{
+    const std::vector<int> recipe{0, 1, 2, 3, 0, 1};
+    const TraceRecord rec = syntheticRecord(recipe, 300, 5);
+    PfConfig cfg = openConfig();
+    cfg.numToSelect = 4;
+    const auto a = pfCounterSelection({rec}, cfg, CoreMode::LowPower);
+    const auto b = pfCounterSelection({rec}, cfg, CoreMode::LowPower);
+    EXPECT_EQ(a.selected, b.selected);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the pipeline-facing APIs: counter plans, scale config,
+ * dataset utilities, and the feature scaler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+
+using namespace psca;
+
+TEST(CounterPlan, RecordsRankedPlusExpert)
+{
+    std::vector<uint16_t> ranked{5, 9, 13, 2};
+    const CounterPlan plan = makeCounterPlan(ranked);
+    // All PF-ranked ids first, in order.
+    for (size_t i = 0; i < ranked.size(); ++i)
+        EXPECT_EQ(plan.recordIds[i], ranked[i]);
+    // Every expert counter present exactly once.
+    for (uint16_t id : charstarCounterIds()) {
+        EXPECT_EQ(std::count(plan.recordIds.begin(),
+                             plan.recordIds.end(), id),
+                  1);
+    }
+}
+
+TEST(CounterPlan, ColumnsResolve)
+{
+    std::vector<uint16_t> ranked{5, 9, 13};
+    const CounterPlan plan = makeCounterPlan(ranked);
+    const auto cols = plan.pfColumns(2);
+    EXPECT_EQ(cols, (std::vector<size_t>{0, 1}));
+    EXPECT_EQ(plan.columnOf(13), 2u);
+    const auto expert = plan.charstarColumns();
+    EXPECT_EQ(expert.size(), charstarCounterIds().size());
+}
+
+TEST(CounterPlan, TooManyRequestedIsFatal)
+{
+    const CounterPlan plan = makeCounterPlan({1, 2});
+    EXPECT_DEATH(plan.pfColumns(5), "not enough PF counters");
+}
+
+TEST(ScaleConfig, EnvSelectsProfiles)
+{
+    setenv("PSCA_SCALE", "quick", 1);
+    const ScaleConfig quick = ScaleConfig::fromEnv();
+    setenv("PSCA_SCALE", "full", 1);
+    const ScaleConfig full = ScaleConfig::fromEnv();
+    setenv("PSCA_SCALE", "default", 1);
+    const ScaleConfig def = ScaleConfig::fromEnv();
+    unsetenv("PSCA_SCALE");
+
+    EXPECT_LT(quick.hdtrApps, def.hdtrApps);
+    EXPECT_LT(quick.hdtrTraceLen, def.hdtrTraceLen);
+    EXPECT_GT(full.hdtrTraceLen, def.hdtrTraceLen);
+    EXPECT_GT(full.folds, def.folds);
+    EXPECT_EQ(full.folds, 32); // the paper's fold count
+}
+
+TEST(Dataset, SubsetPreservesMetadata)
+{
+    Dataset d;
+    d.numFeatures = 2;
+    for (int i = 0; i < 10; ++i) {
+        const float row[2] = {static_cast<float>(i), 0.0f};
+        d.addSample(row, i % 2, static_cast<uint32_t>(i / 3),
+                    static_cast<uint32_t>(i));
+    }
+    const Dataset s = d.subset({1, 4, 9});
+    ASSERT_EQ(s.numSamples(), 3u);
+    EXPECT_FLOAT_EQ(s.row(1)[0], 4.0f);
+    EXPECT_EQ(s.y[2], 1);
+    EXPECT_EQ(s.appId[1], 1u);
+    EXPECT_EQ(s.traceId[2], 9u);
+}
+
+TEST(Dataset, PositiveRate)
+{
+    Dataset d;
+    d.numFeatures = 1;
+    const float row[1] = {0.0f};
+    d.addSample(row, 1, 0, 0);
+    d.addSample(row, 0, 0, 0);
+    d.addSample(row, 1, 0, 0);
+    d.addSample(row, 1, 0, 0);
+    EXPECT_DOUBLE_EQ(d.positiveRate(), 0.75);
+}
+
+TEST(FeatureScaler, ZScoresColumns)
+{
+    Dataset d;
+    d.numFeatures = 2;
+    for (int i = 0; i < 100; ++i) {
+        const float row[2] = {static_cast<float>(i),
+                              42.0f /* constant */};
+        d.addSample(row, 0, 0, 0);
+    }
+    const FeatureScaler scaler = FeatureScaler::fit(d);
+    const Dataset scaled = scaler.apply(d);
+    // Column 0: zero mean, unit-ish variance.
+    double sum = 0.0, sum_sq = 0.0;
+    for (size_t i = 0; i < 100; ++i) {
+        sum += scaled.row(i)[0];
+        sum_sq += scaled.row(i)[0] * scaled.row(i)[0];
+    }
+    EXPECT_NEAR(sum / 100.0, 0.0, 1e-5);
+    EXPECT_NEAR(sum_sq / 100.0, 1.0, 1e-3);
+    // Constant column maps to exactly zero (no NaN/inf).
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_FLOAT_EQ(scaled.row(i)[1], 0.0f);
+}
+
+TEST(FeatureScaler, ApplyRowMatchesApply)
+{
+    Dataset d;
+    d.numFeatures = 3;
+    Rng rng(8);
+    for (int i = 0; i < 50; ++i) {
+        float row[3];
+        for (auto &v : row)
+            v = static_cast<float>(rng.gaussian(5, 2));
+        d.addSample(row, 0, 0, 0);
+    }
+    const FeatureScaler scaler = FeatureScaler::fit(d);
+    const Dataset scaled = scaler.apply(d);
+    float out[3];
+    scaler.applyRow(d.row(7), out);
+    for (int j = 0; j < 3; ++j)
+        EXPECT_FLOAT_EQ(out[j], scaled.row(7)[j]);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace psca;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all values hit
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        lo = lo || v == -2;
+        hi = hi || v == 2;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianParameterized)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(29);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(31);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto orig = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, orig);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(37);
+    std::vector<double> w{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++counts[rng.weightedIndex(w)];
+    EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(Rng, MixSeedsSpreads)
+{
+    std::set<uint64_t> seen;
+    for (uint64_t i = 0; i < 1000; ++i)
+        seen.insert(mixSeeds(42, i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng rng(41);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GT(rng.logNormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(43);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.15);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the binary serialization helpers underlying the record
+ * cache and firmware images.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/serialize.hh"
+
+using namespace psca;
+
+namespace {
+
+class SerializeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { path_ = "/tmp/psca_ser_test.bin"; }
+    void TearDown() override { std::filesystem::remove(path_); }
+    std::string path_;
+};
+
+} // namespace
+
+TEST_F(SerializeTest, ScalarRoundTrip)
+{
+    {
+        BinaryWriter out(path_);
+        out.put<uint64_t>(0xdeadbeefcafeULL);
+        out.put<int32_t>(-42);
+        out.put<float>(3.25f);
+        out.put<double>(-1e300);
+        ASSERT_TRUE(out.good());
+    }
+    BinaryReader in(path_);
+    ASSERT_TRUE(in.good());
+    EXPECT_EQ(in.get<uint64_t>(), 0xdeadbeefcafeULL);
+    EXPECT_EQ(in.get<int32_t>(), -42);
+    EXPECT_FLOAT_EQ(in.get<float>(), 3.25f);
+    EXPECT_DOUBLE_EQ(in.get<double>(), -1e300);
+}
+
+TEST_F(SerializeTest, VectorRoundTrip)
+{
+    std::vector<float> v{1.0f, -2.5f, 0.0f, 1e-30f};
+    {
+        BinaryWriter out(path_);
+        out.putVector(v);
+    }
+    BinaryReader in(path_);
+    EXPECT_EQ(in.getVector<float>(), v);
+}
+
+TEST_F(SerializeTest, EmptyVectorRoundTrip)
+{
+    {
+        BinaryWriter out(path_);
+        out.putVector(std::vector<uint32_t>{});
+        out.put<uint8_t>(7);
+    }
+    BinaryReader in(path_);
+    EXPECT_TRUE(in.getVector<uint32_t>().empty());
+    EXPECT_EQ(in.get<uint8_t>(), 7);
+}
+
+TEST_F(SerializeTest, StringRoundTrip)
+{
+    {
+        BinaryWriter out(path_);
+        out.putString("hello psca");
+        out.putString("");
+        out.putString(std::string("with\0null", 9));
+    }
+    BinaryReader in(path_);
+    EXPECT_EQ(in.getString(), "hello psca");
+    EXPECT_EQ(in.getString(), "");
+    EXPECT_EQ(in.getString(), std::string("with\0null", 9));
+}
+
+TEST_F(SerializeTest, MixedSequenceOrderPreserved)
+{
+    {
+        BinaryWriter out(path_);
+        out.put<uint16_t>(1);
+        out.putString("a");
+        out.putVector(std::vector<int>{2, 3});
+        out.put<uint16_t>(4);
+    }
+    BinaryReader in(path_);
+    EXPECT_EQ(in.get<uint16_t>(), 1);
+    EXPECT_EQ(in.getString(), "a");
+    EXPECT_EQ(in.getVector<int>(), (std::vector<int>{2, 3}));
+    EXPECT_EQ(in.get<uint16_t>(), 4);
+}
+
+TEST_F(SerializeTest, MissingFileReadsNotGood)
+{
+    BinaryReader in("/tmp/psca_no_such_file_12345.bin");
+    EXPECT_FALSE(in.good());
+}
+
+TEST_F(SerializeTest, TruncatedReadTurnsNotGood)
+{
+    {
+        BinaryWriter out(path_);
+        out.put<uint32_t>(1);
+    }
+    BinaryReader in(path_);
+    in.get<uint32_t>();
+    in.get<uint64_t>(); // past EOF
+    EXPECT_FALSE(in.good());
+}

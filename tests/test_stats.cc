@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for streaming and batch statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "math/stats.hh"
+
+using namespace psca;
+
+TEST(RunningStats, MatchesBatch)
+{
+    Rng rng(3);
+    RunningStats rs;
+    std::vector<double> v;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        rs.add(x);
+        v.push_back(x);
+    }
+    EXPECT_NEAR(rs.mean(), mean(v), 1e-9);
+    EXPECT_NEAR(rs.stddev(), stddev(v), 1e-9);
+    EXPECT_EQ(rs.count(), 1000u);
+}
+
+TEST(RunningStats, MinMax)
+{
+    RunningStats rs;
+    for (double x : {3.0, -1.0, 7.0, 2.0})
+        rs.add(x);
+    EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined)
+{
+    Rng rng(5);
+    RunningStats a, b, all;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(0, 10);
+        (i < 200 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats rs;
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(Stats, MeanStddevKnown)
+{
+    std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(stddev(v), 2.138, 0.001);
+}
+
+TEST(Stats, StddevSingleElementZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, QuantileEndpoints)
+{
+    std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the microcontroller substrate: the firmware VM, the
+ * model-to-firmware compilers (compiled programs must reproduce
+ * native model scores and advertised op costs), and the Sec. 5
+ * budget arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/linear.hh"
+#include "ml/mlp.hh"
+#include "ml/tree.hh"
+#include "uc/budget.hh"
+#include "uc/compilers.hh"
+#include "uc/vm.hh"
+
+using namespace psca;
+
+namespace {
+
+Dataset
+randomData(size_t n, size_t features, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d;
+    d.numFeatures = features;
+    std::vector<float> row(features);
+    for (size_t i = 0; i < n; ++i) {
+        float acc = 0.0f;
+        for (size_t j = 0; j < features; ++j) {
+            row[j] = static_cast<float>(rng.gaussian());
+            acc += (j % 2 ? 1.0f : -1.0f) * row[j];
+        }
+        d.addSample(row.data(), acc > 0 ? 1 : 0, 0, 0);
+    }
+    return d;
+}
+
+} // namespace
+
+TEST(UcVm, BasicArithmetic)
+{
+    UcProgram prog;
+    prog.numInputs = 2;
+    prog.code = {
+        {UcOpcode::LoadInput, 0, 0},
+        {UcOpcode::LoadInput, 1, 1},
+        {UcOpcode::Add, 2, 0, 1},
+        {UcOpcode::LoadImm, 3, 0, 0, 2.0f},
+        {UcOpcode::Mul, 2, 2, 3},
+        {UcOpcode::Halt, 2},
+    };
+    UcVm vm;
+    const float in[2] = {3.0f, 4.0f};
+    EXPECT_DOUBLE_EQ(vm.run(prog, in, 2), 14.0);
+    EXPECT_EQ(vm.opsExecuted(), 5u);
+}
+
+TEST(UcVm, MacroOpCosts)
+{
+    EXPECT_EQ(UcVm::opCost(UcOpcode::Relu), 6u);
+    EXPECT_EQ(UcVm::opCost(UcOpcode::Exp), 122u);
+    EXPECT_EQ(UcVm::opCost(UcOpcode::Add), 1u);
+    EXPECT_EQ(UcVm::opCost(UcOpcode::Halt), 0u);
+}
+
+TEST(UcVm, IndexedAddressing)
+{
+    UcProgram prog;
+    prog.numInputs = 3;
+    prog.mem = {10.0f, 20.0f, 30.0f};
+    prog.code = {
+        {UcOpcode::ILoadImm, 0, 0, 0, 0.0f, 2},
+        {UcOpcode::LoadMemInd, 1, 0, 0, 0.0f, 0, 0}, // mem[2]
+        {UcOpcode::LoadInputInd, 2, 0},              // input[2]
+        {UcOpcode::Add, 1, 1, 2},
+        {UcOpcode::Halt, 1},
+    };
+    UcVm vm;
+    const float in[3] = {1.0f, 2.0f, 5.0f};
+    EXPECT_DOUBLE_EQ(vm.run(prog, in, 3), 35.0);
+}
+
+class CompiledMlp
+    : public ::testing::TestWithParam<std::vector<int>>
+{};
+
+TEST_P(CompiledMlp, MatchesNativeScores)
+{
+    const Dataset d = randomData(600, 12, 21);
+    MlpConfig cfg;
+    cfg.hiddenLayers = GetParam();
+    cfg.epochs = 8;
+    auto model = trainMlp(d, cfg);
+
+    const UcProgram prog = compileMlp(*model);
+    UcVm vm;
+    for (size_t i = 0; i < 100; ++i) {
+        const double native = model->score(d.row(i));
+        const double fw = vm.run(prog, d.row(i), 12);
+        EXPECT_NEAR(fw, native, 1e-4) << "sample " << i;
+    }
+}
+
+TEST_P(CompiledMlp, OpCountNearAdvertised)
+{
+    const Dataset d = randomData(200, 12, 22);
+    MlpConfig cfg;
+    cfg.hiddenLayers = GetParam();
+    cfg.epochs = 2;
+    auto model = trainMlp(d, cfg);
+
+    const UcProgram prog = compileMlp(*model);
+    UcVm vm;
+    vm.run(prog, d.row(0), 12);
+    // The Table 3 accounting folds the scalar readout into the last
+    // layer; the compiled program carries it explicitly plus the
+    // input prologue, so allow a modest margin.
+    const double advertised = model->opsPerInference();
+    EXPECT_GT(vm.opsExecuted(), 0.8 * advertised);
+    EXPECT_LT(vm.opsExecuted(), 1.6 * advertised + 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, CompiledMlp,
+    ::testing::Values(std::vector<int>{10}, std::vector<int>{8, 8, 4},
+                      std::vector<int>{32, 32, 16},
+                      std::vector<int>{4}, std::vector<int>{16, 8}));
+
+class CompiledForest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CompiledForest, MatchesNativeScores)
+{
+    const Dataset d = randomData(800, 12, 23);
+    ForestConfig fc;
+    fc.numTrees = GetParam();
+    fc.maxDepth = 6;
+    RandomForest forest(d, fc);
+
+    const UcProgram prog = compileForest(forest);
+    UcVm vm;
+    for (size_t i = 0; i < 200; ++i) {
+        const double native = forest.score(d.row(i));
+        const double fw = vm.run(prog, d.row(i), 12);
+        EXPECT_NEAR(fw, native, 1e-5) << "sample " << i;
+    }
+}
+
+TEST_P(CompiledForest, ConstantCostPerPrediction)
+{
+    // Padded branch-free trees: every input costs the same ops.
+    const Dataset d = randomData(400, 12, 24);
+    ForestConfig fc;
+    fc.numTrees = GetParam();
+    fc.maxDepth = 6;
+    RandomForest forest(d, fc);
+    const UcProgram prog = compileForest(forest);
+    UcVm vm;
+    vm.run(prog, d.row(0), 12);
+    const uint64_t first = vm.opsExecuted();
+    for (size_t i = 1; i < 50; ++i) {
+        vm.run(prog, d.row(i), 12);
+        EXPECT_EQ(vm.opsExecuted(), first);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompiledForest,
+                         ::testing::Values(1, 4, 8, 16));
+
+TEST(CompiledLogistic, MatchesNative)
+{
+    const Dataset d = randomData(600, 12, 25);
+    LogisticRegression lr(d, LogRegConfig{});
+    const UcProgram prog = compileLogistic(lr);
+    UcVm vm;
+    for (size_t i = 0; i < 100; ++i) {
+        EXPECT_NEAR(vm.run(prog, d.row(i), 12), lr.score(d.row(i)),
+                    1e-5);
+    }
+}
+
+TEST(CompiledLogistic, OpCountNearAdvertised)
+{
+    const Dataset d = randomData(100, 12, 26);
+    LogisticRegression lr(d, LogRegConfig{});
+    const UcProgram prog = compileLogistic(lr);
+    UcVm vm;
+    vm.run(prog, d.row(0), 12);
+    EXPECT_NEAR(static_cast<double>(vm.opsExecuted()),
+                static_cast<double>(lr.opsPerInference()), 30.0);
+}
+
+// ---- Sec. 5 budget table ---------------------------------------------
+
+TEST(Budget, Table3LeftColumn)
+{
+    const UcBudget b;
+    // Granularity -> (max uC ops, prediction budget), per Table 3.
+    struct Row { uint64_t l, max, budget; };
+    const Row rows[] = {
+        {10000, 312, 156},  {20000, 625, 312},  {30000, 937, 468},
+        {40000, 1250, 625}, {50000, 1562, 781}, {60000, 1875, 937},
+        {100000, 3125, 1562},
+    };
+    for (const auto &r : rows) {
+        EXPECT_EQ(b.maxOps(r.l), r.max) << r.l;
+        EXPECT_EQ(b.opsBudget(r.l), r.budget) << r.l;
+    }
+}
+
+TEST(Budget, FinestGranularityForPaperModels)
+{
+    const UcBudget b;
+    // CHARSTAR-equivalent (292 ops) fits at 20k (Sec. 7).
+    EXPECT_EQ(b.finestGranularity(292), 20000u);
+    // Best MLP (678 ops) fits at 50k.
+    EXPECT_EQ(b.finestGranularity(678), 50000u);
+    // Best RF (538 ops) fits at 40k.
+    EXPECT_EQ(b.finestGranularity(538), 40000u);
+    // SRCH (572 ops) fits at 40k.
+    EXPECT_EQ(b.finestGranularity(572), 40000u);
+    // A depth-16 tree (133 ops) fits at the finest 10k interval.
+    EXPECT_EQ(b.finestGranularity(133), 10000u);
+}
+
+TEST(Budget, ChiSquareSvmDoesNotFit)
+{
+    // 121k ops exceeds even the 10M-instruction budget? No: 10M/64 =
+    // 156k ops, so it fits only at multi-million granularities.
+    const UcBudget b;
+    const uint64_t g = b.finestGranularity(121000);
+    EXPECT_GT(g, 1000000u);
+}
+
+TEST(Budget, ImageSizeReported)
+{
+    const Dataset d = randomData(100, 12, 27);
+    MlpConfig cfg;
+    cfg.hiddenLayers = {8, 8, 4};
+    cfg.epochs = 1;
+    auto model = trainMlp(d, cfg);
+    const UcProgram prog = compileMlp(*model);
+    EXPECT_GT(prog.imageBytes(), 0u);
+    EXPECT_EQ(prog.staticOpCount(),
+              [&] {
+                  UcVm vm;
+                  vm.run(prog, d.row(0), 12);
+                  return vm.opsExecuted();
+              }());
+}

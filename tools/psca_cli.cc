@@ -1,0 +1,325 @@
+/**
+ * @file
+ * psca — command-line driver for the adaptive-CPU library.
+ *
+ * Subcommands:
+ *   counters [--all]          list the telemetry registry
+ *   kernels                   list kernel families and SPEC profiles
+ *   run <app> [options]       simulate one workload and print
+ *                             per-interval telemetry + a summary
+ *   train <app...> --out FW   record + train a Best-RF pair and emit
+ *                             a flashable firmware image
+ *   flash FW <app>            load a firmware image and run the
+ *                             closed adaptation loop through the VM
+ *
+ * <app> is either `spec:<name-substring>` (a SPEC2017 stand-in) or
+ * `<category>:<seed>` with category in {hpc, cloud, ai, web, media,
+ * games}.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/firmware_image.hh"
+#include "core/pipeline.hh"
+#include "sim/core.hh"
+
+using namespace psca;
+
+namespace {
+
+const std::vector<uint16_t> &
+defaultCounterIds()
+{
+    static const std::vector<uint16_t> ids = {
+        CounterRegistry::index(Ctr::InstRetired),
+        CounterRegistry::index(Ctr::StallCount),
+        CounterRegistry::index(Ctr::L1dMiss),
+        CounterRegistry::index(Ctr::LoadLatSum),
+        CounterRegistry::index(Ctr::MshrOccSum),
+        CounterRegistry::index(Ctr::UopsStalledOnDep),
+        CounterRegistry::index(Ctr::UopsReady),
+        CounterRegistry::index(Ctr::SqOccSum),
+    };
+    return ids;
+}
+
+const std::vector<size_t> kAllColumns{0, 1, 2, 3, 4, 5, 6, 7};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: psca <counters|kernels|run|train|flash> ...\n"
+                 "  psca counters [--all]\n"
+                 "  psca kernels\n"
+                 "  psca run <app> [--len N] [--mode high|low]\n"
+                 "  psca train <app> [<app> ...] --out FW.bin\n"
+                 "  psca flash FW.bin <app> [--len N]\n"
+                 "  <app> = spec:<name> | "
+                 "{hpc,cloud,ai,web,media,games}:<seed>\n");
+    return 2;
+}
+
+/** Resolve an <app> spec string into a workload. */
+bool
+resolveApp(const std::string &spec, uint64_t len, Workload &out)
+{
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        return false;
+    const std::string kind = spec.substr(0, colon);
+    const std::string arg = spec.substr(colon + 1);
+
+    if (kind == "spec") {
+        for (const auto &app : buildSpecApps()) {
+            if (app.genome.name.find(arg) != std::string::npos) {
+                out.genome = app.genome;
+                break;
+            }
+        }
+        if (out.genome.phases.empty())
+            return false;
+    } else {
+        static const std::pair<const char *, AppCategory> cats[] = {
+            {"hpc", AppCategory::HpcPerf},
+            {"cloud", AppCategory::CloudSecurity},
+            {"ai", AppCategory::AiAnalytics},
+            {"web", AppCategory::WebProductivity},
+            {"media", AppCategory::Multimedia},
+            {"games", AppCategory::GamesRendering},
+        };
+        bool found = false;
+        for (const auto &[name, cat] : cats) {
+            if (kind == name) {
+                out.genome = sampleGenome(
+                    cat, std::strtoull(arg.c_str(), nullptr, 10));
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    out.inputSeed = 1;
+    out.lengthInstr = len;
+    out.name = out.genome.name;
+    return true;
+}
+
+uint64_t
+optLen(int argc, char **argv, uint64_t fallback)
+{
+    for (int i = 0; i + 1 < argc; ++i)
+        if (!std::strcmp(argv[i], "--len"))
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    return fallback;
+}
+
+int
+cmdCounters(int argc, char **argv)
+{
+    const bool all = argc > 0 && !std::strcmp(argv[0], "--all");
+    const auto &reg = CounterRegistry::instance();
+    const size_t limit = all ? reg.numCounters() : kNumScalarCtrs;
+    for (size_t i = 0; i < limit; ++i)
+        std::printf("%4zu  %s\n", i,
+                    reg.name(static_cast<uint16_t>(i)).c_str());
+    if (!all)
+        std::printf("(... %zu more; use --all)\n",
+                    reg.numCounters() - limit);
+    return 0;
+}
+
+int
+cmdKernels()
+{
+    std::printf("kernel families:\n");
+    for (size_t k = 0; k < kNumKernelKinds; ++k)
+        std::printf("  %s\n",
+                    kernelKindName(static_cast<KernelKind>(k)));
+    std::printf("\nSPEC2017 stand-ins:\n");
+    for (const auto &app : buildSpecApps()) {
+        std::printf("  %-20s %-4s %d inputs, %zu phases\n",
+                    app.genome.name.c_str(), app.isFp ? "fp" : "int",
+                    app.numInputs, app.genome.phases.size());
+    }
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    Workload w;
+    if (!resolveApp(argv[0], optLen(argc, argv, 300000), w)) {
+        std::fprintf(stderr, "unknown app '%s'\n", argv[0]);
+        return 2;
+    }
+    CoreMode mode = CoreMode::HighPerf;
+    for (int i = 0; i + 1 < argc; ++i)
+        if (!std::strcmp(argv[i], "--mode") &&
+            !std::strcmp(argv[i + 1], "low"))
+            mode = CoreMode::LowPower;
+
+    BuildConfig cfg;
+    cfg.counterIds = defaultCounterIds();
+    std::printf("running %s (%lu instructions, %s mode)\n",
+                w.name.c_str(),
+                static_cast<unsigned long>(w.lengthInstr),
+                coreModeName(mode));
+
+    ClusteredCore core(cfg.core);
+    core.reset();
+    core.setMode(mode);
+    PowerModel power(cfg.power, cfg.core.clockGhz);
+    TraceGenerator gen(w);
+    core.run(gen, cfg.warmupInstr);
+
+    std::printf("%-8s %-8s %-8s %-10s %-10s\n", "intvl", "IPC",
+                "watts", "l1d-mpki", "stall/cyc");
+    auto prev = core.counters().raw();
+    uint64_t remaining = w.lengthInstr;
+    int interval = 0;
+    PpwAccumulator acc;
+    while (remaining >= cfg.intervalInstr) {
+        const IntervalStats stats = core.run(gen, cfg.intervalInstr);
+        remaining -= cfg.intervalInstr;
+        const auto &now = core.counters().raw();
+        std::vector<uint64_t> delta(now.size());
+        for (size_t i = 0; i < now.size(); ++i)
+            delta[i] = now[i] - prev[i];
+        prev = now;
+        const double watts =
+            power.intervalPowerWatts(delta, stats.cycles, mode);
+        acc.add(stats.instructions, stats.cycles,
+                power.intervalEnergyNj(delta, stats.cycles, mode));
+        if (interval % 4 == 0) {
+            std::printf(
+                "%-8d %-8.2f %-8.2f %-10.2f %-10.3f\n", interval,
+                stats.ipc(), watts,
+                1000.0 *
+                    static_cast<double>(
+                        delta[CounterRegistry::index(Ctr::L1dMiss)]) /
+                    static_cast<double>(cfg.intervalInstr),
+                static_cast<double>(
+                    delta[CounterRegistry::index(Ctr::StallCount)]) /
+                    static_cast<double>(stats.cycles));
+        }
+        ++interval;
+    }
+    std::printf("\nsummary: IPC %.2f, %.2f W, PPW %.3g inst/J\n",
+                acc.ipc(),
+                acc.energyNj() * 1e-9 /
+                    (static_cast<double>(acc.cycles()) /
+                     (cfg.core.clockGhz * 1e9)),
+                acc.ppw());
+    return 0;
+}
+
+int
+cmdTrain(int argc, char **argv)
+{
+    std::vector<std::string> apps;
+    std::string out_path;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (argv[i][0] != '-') {
+            apps.emplace_back(argv[i]);
+        }
+    }
+    if (apps.empty() || out_path.empty())
+        return usage();
+
+    BuildConfig cfg;
+    cfg.counterIds = defaultCounterIds();
+    std::vector<TraceRecord> records;
+    for (size_t i = 0; i < apps.size(); ++i) {
+        Workload w;
+        if (!resolveApp(apps[i], 400000, w)) {
+            std::fprintf(stderr, "unknown app '%s'\n",
+                         apps[i].c_str());
+            return 2;
+        }
+        std::printf("recording %s...\n", w.name.c_str());
+        records.push_back(
+            recordTrace(w, cfg, static_cast<uint32_t>(i), 0));
+    }
+
+    DualTrainOptions opts;
+    opts.granularityInstr = 40000;
+    opts.columns = kAllColumns;
+    opts.rsvWindow = 400;
+    TrainedDual dual = trainDual(
+        records, cfg, opts,
+        [](const Dataset &tune, uint64_t s) -> std::unique_ptr<Model> {
+            ForestConfig fc;
+            fc.numTrees = 8;
+            fc.maxDepth = 8;
+            fc.seed = s;
+            return std::make_unique<RandomForest>(tune, fc);
+        });
+    DualModelPredictor predictor(dual.high, dual.low, kAllColumns,
+                                 opts.granularityInstr, "psca-cli");
+    const FirmwarePackage pkg =
+        packageFromDual(predictor, kAllColumns);
+    pkg.save(out_path);
+    std::printf("wrote %s (%zu + %zu instructions of firmware)\n",
+                out_path.c_str(), pkg.high.program.code.size(),
+                pkg.low.program.code.size());
+    return 0;
+}
+
+int
+cmdFlash(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    Workload w;
+    if (!resolveApp(argv[1], optLen(argc, argv, 400000), w)) {
+        std::fprintf(stderr, "unknown app '%s'\n", argv[1]);
+        return 2;
+    }
+    FirmwarePackage pkg = FirmwarePackage::load(argv[0]);
+    std::printf("flashed %s (granularity %lu)\n", pkg.name.c_str(),
+                static_cast<unsigned long>(pkg.granularityInstr));
+
+    BuildConfig cfg;
+    cfg.counterIds = defaultCounterIds();
+    const TraceRecord ref = recordTrace(w, cfg, 0, 0);
+    VmPredictor predictor(std::move(pkg));
+    const ClosedLoopResult r =
+        runClosedLoop(w, ref, predictor, cfg, SlaSpec{});
+    std::printf("%s under predictive cluster gating:\n",
+                w.name.c_str());
+    std::printf("  PPW %+.1f%%, perf %.1f%%, residency %.1f%%, "
+                "PGOS %.1f%%, RSV %.2f%%, uC ops %lu\n",
+                r.ppwGainPct, r.perfRelativePct,
+                r.lowResidency * 100, r.pgos * 100, r.rsv * 100,
+                static_cast<unsigned long>(predictor.vmOpsExecuted()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "counters")
+        return cmdCounters(argc - 2, argv + 2);
+    if (cmd == "kernels")
+        return cmdKernels();
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "train")
+        return cmdTrain(argc - 2, argv + 2);
+    if (cmd == "flash")
+        return cmdFlash(argc - 2, argv + 2);
+    return usage();
+}
