@@ -52,6 +52,7 @@ int
 main()
 {
     banner("Ablations -- granularity and the fail-safe guardrail");
+    ReportGuard report("ablation");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, true);

@@ -14,9 +14,28 @@
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "obs/report.hh"
 
 namespace psca {
 namespace bench {
+
+/**
+ * Per-bench run report: declare one at the top of main() and the
+ * stat registry (phase timings, decision-latency histogram, gate and
+ * transition counters, suite gauges) is dumped to BENCH_<name>.json
+ * when the bench exits, alongside the stdout table. PSCA_REPORT=0
+ * disables the file; PSCA_REPORT_DIR redirects it.
+ */
+class ReportGuard
+{
+  public:
+    explicit ReportGuard(const char *name)
+        : guard_("BENCH_" + std::string(name))
+    {}
+
+  private:
+    obs::RunReportGuard guard_;
+};
 
 /** Print a banner naming the experiment. */
 inline void

@@ -82,6 +82,7 @@ int
 main()
 {
     banner("Figure 10 -- stepwise blindspot mitigation");
+    ReportGuard report("fig10");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, true);

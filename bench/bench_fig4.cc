@@ -15,6 +15,7 @@ int
 main()
 {
     banner("Figure 4 -- training-set diversity vs blindspots");
+    ReportGuard report("fig4");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, false);

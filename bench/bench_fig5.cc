@@ -40,6 +40,7 @@ int
 main()
 {
     banner("Figure 5 -- counter count & selection method");
+    ReportGuard report("fig5");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, false);

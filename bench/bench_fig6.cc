@@ -17,6 +17,7 @@ int
 main()
 {
     banner("Figure 6 -- MLP hyperparameter screening");
+    ReportGuard report("fig6");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, false);

@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     banner("Figure 7 -- ideal low-power residency per benchmark");
+    ReportGuard report("fig7");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, true);

@@ -36,6 +36,7 @@ int
 main()
 {
     banner("Figure 8 -- PPW and RSV across adaptation models");
+    ReportGuard run_report("fig8");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, true);

@@ -13,6 +13,7 @@ int
 main()
 {
     banner("Figure 9 -- per-benchmark CHARSTAR vs Best RF");
+    ReportGuard report("fig9");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, true);

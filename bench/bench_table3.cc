@@ -32,6 +32,7 @@ int
 main()
 {
     banner("Table 3 -- microcontroller budgets and the model zoo");
+    ReportGuard report("table3");
 
     const UcBudget budget;
     std::printf("CPU: 2.0 GHz, 8-wide, 16,000 MIPS | "

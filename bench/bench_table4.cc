@@ -14,6 +14,7 @@ int
 main()
 {
     banner("Table 4 -- PF Counter Selection result");
+    ReportGuard report("table4");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     const auto apps = buildHdtrApps(scale.pfApps);

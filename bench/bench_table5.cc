@@ -16,6 +16,7 @@ int
 main()
 {
     banner("Table 5 -- per-SLA retraining (Sec. 7.3)");
+    ReportGuard report("table5");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, true);

@@ -16,6 +16,7 @@ int
 main()
 {
     banner("Table 6 -- app-specific retraining (Sec. 7.3)");
+    ReportGuard report("table6");
 
     const ScaleConfig scale = ScaleConfig::fromEnv();
     ExperimentContext ctx = setupExperiment(scale, true);

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "obs/report.hh"
+
 #include "core/pipeline.hh"
 
 using namespace psca;
@@ -49,6 +51,7 @@ makeForest(const Dataset &tune, uint64_t seed, int trees)
 int
 main()
 {
+    obs::RunReportGuard report("app_specific_retraining_report");
     const BuildConfig build = buildConfig();
 
     // The vendor's general training repository (HDTR stand-in).

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "obs/report.hh"
+
 #include "core/pf_selection.hh"
 #include "trace/corpus.hh"
 
@@ -17,6 +19,7 @@ using namespace psca;
 int
 main()
 {
+    obs::RunReportGuard report("counter_selection_report");
     // Record every telemetry counter over a 16-app sample.
     BuildConfig build;
     build.counterIds.resize(kNumTelemetryCounters);

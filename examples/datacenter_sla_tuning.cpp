@@ -10,6 +10,8 @@
 
 #include <cstdio>
 
+#include "obs/report.hh"
+
 #include "core/pipeline.hh"
 
 using namespace psca;
@@ -17,6 +19,7 @@ using namespace psca;
 int
 main()
 {
+    obs::RunReportGuard report("datacenter_sla_tuning_report");
     // A small "fleet" of cloud workloads recorded once.
     BuildConfig build;
     build.counterIds = {

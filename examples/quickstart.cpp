@@ -12,9 +12,12 @@
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "core/controller.hh"
 #include "core/pipeline.hh"
+#include "obs/report.hh"
+#include "obs/stats.hh"
 #include "uc/budget.hh"
 #include "uc/compilers.hh"
 
@@ -23,6 +26,9 @@ using namespace psca;
 int
 main()
 {
+    // Dumps the stat registry (phase tree, decision-latency
+    // histogram, gate/transition counters) as JSON on exit.
+    obs::RunReportGuard report("quickstart_report");
     // ---- 1. A workload: one application genome, one input ----------
     AppGenome app = sampleGenome(AppCategory::HpcPerf, /*seed=*/2025);
     Workload workload;
@@ -97,5 +103,8 @@ main()
     std::printf("  RSV               %.2f%%\n", result.rsv * 100);
     std::printf("  mode switches     %lu\n",
                 static_cast<unsigned long>(result.modeSwitches));
+
+    std::printf("\nobservability (full JSON report on exit):\n");
+    obs::StatRegistry::instance().dumpText(std::cout);
     return 0;
 }

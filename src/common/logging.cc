@@ -1,12 +1,67 @@
 #include "logging.hh"
 
+#include <chrono>
+#include <cstring>
+
 namespace psca {
+
+namespace {
+
+LogLevel
+parseLogLevel(const char *env)
+{
+    if (!env || !*env)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "quiet") == 0 ||
+        std::strcmp(env, "silent") == 0 ||
+        std::strcmp(env, "3") == 0)
+        return LogLevel::Quiet;
+    return LogLevel::Info;
+}
+
+/** Monotonic seconds since the first log call. */
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point start = clock::now();
+    return std::chrono::duration<double>(clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    static const LogLevel level =
+        parseLogLevel(std::getenv("PSCA_LOG_LEVEL"));
+    return level;
+}
+
 namespace detail {
 
 void
 emitLine(const char *tag, const std::string &msg)
 {
-    std::fprintf(stderr, "[psca:%s] %s\n", tag, msg.c_str());
+    // Build the entire line first so one write()+flush carries it:
+    // interleaved writers (or a crash mid-message) cannot shear the
+    // line, and the flush makes it durable before any abort/exit.
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "[%10.3f psca:%s] ",
+                  monotonicSeconds(), tag);
+    std::string line;
+    line.reserve(std::strlen(prefix) + msg.size() + 1);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
 }
 

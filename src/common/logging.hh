@@ -1,9 +1,15 @@
 /**
  * @file
  * Status and error reporting helpers in the style of gem5's
- * base/logging.hh: inform() for status, warn() for suspicious but
- * non-fatal conditions, fatal() for user errors (clean exit), and
- * panic() for internal invariant violations (abort).
+ * base/logging.hh: debug() for developer tracing, inform() for
+ * status, warn() for suspicious but non-fatal conditions, fatal() for
+ * user errors (clean exit), and panic() for internal invariant
+ * violations (abort).
+ *
+ * Verbosity is filtered by the PSCA_LOG_LEVEL environment variable
+ * ("debug", "info" (default), "warn", or "quiet"; numeric 0-3 also
+ * accepted). fatal() and panic() always print. Suppressed levels skip
+ * message formatting entirely.
  */
 
 #ifndef PSCA_COMMON_LOGGING_HH
@@ -17,6 +23,25 @@
 
 namespace psca {
 
+/** Message severities, least to most severe. */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Quiet = 3, //!< only fatal/panic
+};
+
+/** The process log level (PSCA_LOG_LEVEL, parsed once). */
+LogLevel logLevel();
+
+/** True when messages of severity @p lvl should be emitted. */
+inline bool
+logEnabled(LogLevel lvl)
+{
+    return static_cast<int>(lvl) >= static_cast<int>(logLevel());
+}
+
 namespace detail {
 
 /** Fold any streamable arguments into a single string. */
@@ -29,18 +54,33 @@ formatMessage(Args &&...args)
     return os.str();
 }
 
-/** Emit one tagged line to stderr. */
+/**
+ * Emit one tagged line to stderr: the whole line (with a monotonic
+ * seconds-since-start prefix) is built first and written with a
+ * single flushed write, so concurrent writers cannot shear it.
+ */
 void emitLine(const char *tag, const std::string &msg);
 
 } // namespace detail
+
+/** Print a developer-tracing message (hidden by default). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logEnabled(LogLevel::Debug))
+        detail::emitLine("debug", detail::formatMessage(
+            std::forward<Args>(args)...));
+}
 
 /** Print an informational status message. */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
-    detail::emitLine("info", detail::formatMessage(
-        std::forward<Args>(args)...));
+    if (logEnabled(LogLevel::Info))
+        detail::emitLine("info", detail::formatMessage(
+            std::forward<Args>(args)...));
 }
 
 /** Print a warning about questionable but survivable conditions. */
@@ -48,8 +88,9 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::emitLine("warn", detail::formatMessage(
-        std::forward<Args>(args)...));
+    if (logEnabled(LogLevel::Warn))
+        detail::emitLine("warn", detail::formatMessage(
+            std::forward<Args>(args)...));
 }
 
 /**

@@ -3,6 +3,8 @@
 #include <filesystem>
 
 #include "common/serialize.hh"
+#include "obs/phase.hh"
+#include "obs/stats.hh"
 #include "sim/core.hh"
 
 namespace psca {
@@ -133,6 +135,8 @@ recordTrace(const Workload &workload, const BuildConfig &cfg,
 {
     PSCA_ASSERT(!cfg.counterIds.empty(),
                 "recording requires a counter list");
+    obs::ScopedPhase phase("record_trace");
+    obs::StatRegistry::instance().counter("record.traces").add();
     TraceRecord record;
     record.name = workload.name;
     record.appId = app_id;
@@ -155,6 +159,7 @@ recordCorpus(const std::vector<Workload> &workloads,
 {
     PSCA_ASSERT(workloads.size() == app_ids.size(),
                 "workload/app-id list mismatch");
+    obs::ScopedPhase phase("record_corpus." + cache_tag);
 
     const uint64_t hash = configHash(workloads, cfg);
     char hex[32];
@@ -175,6 +180,9 @@ recordCorpus(const std::vector<Workload> &workloads,
             for (uint64_t i = 0; i < n && in.good(); ++i)
                 records.push_back(readRecord(in));
             if (in.good() && records.size() == n) {
+                obs::StatRegistry::instance()
+                    .counter("record.cache_hits")
+                    .add();
                 inform("loaded ", records.size(),
                        " cached records from ", path);
                 return records;
@@ -225,6 +233,7 @@ Dataset
 assembleDataset(const std::vector<TraceRecord> &records,
                 const AssemblyOptions &opts, uint64_t interval_instr)
 {
+    obs::ScopedPhase phase("assemble_dataset");
     PSCA_ASSERT(opts.granularityInstr % interval_instr == 0,
                 "granularity must be a multiple of the interval");
     const size_t k = opts.granularityInstr / interval_instr;

@@ -1,7 +1,10 @@
 #include "core/controller.hh"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/phase.hh"
+#include "obs/stats.hh"
 #include "sim/core.hh"
 #include "uc/budget.hh"
 
@@ -104,6 +107,16 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
     if (blocks == 0)
         return result;
 
+    obs::ScopedPhase phase("closed_loop_replay");
+    auto &reg = obs::StatRegistry::instance();
+    obs::Histogram &decision_lat =
+        reg.histogram("controller.decision_latency_ns");
+    obs::Histogram &ops_hist =
+        reg.histogram("controller.ops_per_inference");
+    obs::Counter &gate_ctr = reg.counter("controller.gate_decisions");
+    obs::Counter &stay_ctr =
+        reg.counter("controller.nogate_decisions");
+
     ClusteredCore core(cfg.core);
     core.reset();
     core.setMode(CoreMode::HighPerf);
@@ -116,7 +129,10 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
     const UcBudget budget;
     const uint64_t ops_budget =
         budget.opsBudget(predictor.granularity());
+    reg.gauge("controller.ops_budget")
+        .set(static_cast<double>(ops_budget));
     if (predictor.opsPerInference() > ops_budget) {
+        reg.counter("controller.budget_overruns").add();
         warn("predictor '", predictor.name(), "' needs ",
              predictor.opsPerInference(), " ops but the ",
              predictor.granularity(), "-instruction budget is ",
@@ -164,8 +180,12 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
         std::vector<const float *> row_ptrs;
         for (size_t t = 0; t < k; ++t)
             row_ptrs.push_back(sub_rows[t].data());
+        const auto decide_start = std::chrono::steady_clock::now();
         const bool gate =
             predictor.decide(row_ptrs, sub_cycles, block_mode);
+        decision_lat.add(obs::elapsedNs(decide_start));
+        ops_hist.add(predictor.opsPerInference());
+        (gate ? gate_ctr : stay_ctr).add();
         result.ucOps += predictor.opsPerInference();
         ++result.numPredictions;
         if (b + 2 < pending.size())
@@ -204,6 +224,13 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
             static_cast<double>(cfg.core.retireWidth),
         predictor.granularity());
     result.rsv = rsvForTrace(predictions, labels, window);
+
+    reg.counter("controller.predictions").add(result.numPredictions);
+    reg.counter("controller.mode_transitions")
+        .add(result.modeSwitches);
+    result.confusion.exportTo(reg, "controller.confusion");
+    reg.gauge("controller.last_rsv").set(result.rsv);
+    reg.gauge("controller.last_pgos").set(result.pgos);
     return result;
 }
 

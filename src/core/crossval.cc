@@ -6,6 +6,7 @@
 
 #include "common/rng.hh"
 #include "math/stats.hh"
+#include "obs/phase.hh"
 
 namespace psca {
 
@@ -90,6 +91,7 @@ CrossValSummary
 crossValidate(const Dataset &data, const ModelFactory &factory,
               const CrossValOptions &opts)
 {
+    obs::ScopedPhase phase("cross_validation");
     CrossValSummary summary;
     std::vector<double> pgos, rsv, acc;
 

@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/stats.hh"
 
 namespace psca {
+
+void
+ConfusionCounts::exportTo(obs::StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    obs::Counter &tp = reg.counter(prefix + ".tp");
+    obs::Counter &fp = reg.counter(prefix + ".fp");
+    obs::Counter &tn = reg.counter(prefix + ".tn");
+    obs::Counter &fn = reg.counter(prefix + ".fn");
+    tp.add(truePositive);
+    fp.add(falsePositive);
+    tn.add(trueNegative);
+    fn.add(falseNegative);
+
+    // Derived gauges from the registry's running totals, not just
+    // this report, so repeated exports (one per trace) aggregate.
+    ConfusionCounts cumulative;
+    cumulative.truePositive = tp.value();
+    cumulative.falsePositive = fp.value();
+    cumulative.trueNegative = tn.value();
+    cumulative.falseNegative = fn.value();
+    reg.gauge(prefix + ".pgos").set(cumulative.pgos());
+    reg.gauge(prefix + ".accuracy").set(cumulative.accuracy());
+}
 
 double
 rsvForTrace(const std::vector<uint8_t> &predictions,

@@ -11,9 +11,14 @@
 #define PSCA_CORE_METRICS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace psca {
+
+namespace obs {
+class StatRegistry;
+} // namespace obs
 
 /** Confusion counts for gate (positive) vs no-gate decisions. */
 struct ConfusionCounts
@@ -72,6 +77,16 @@ struct ConfusionCounts
         trueNegative += o.trueNegative;
         falseNegative += o.falseNegative;
     }
+
+    /**
+     * Accumulate these counts into the stat registry (counters
+     * "<prefix>.tp/fp/tn/fn") and refresh the derived
+     * "<prefix>.pgos" / "<prefix>.accuracy" gauges from the
+     * registry's cumulative totals, so PGOS/RSV appear in the run
+     * report without recomputation at the call sites.
+     */
+    void exportTo(obs::StatRegistry &reg,
+                  const std::string &prefix) const;
 };
 
 /**

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/phase.hh"
+#include "obs/stats.hh"
+
 namespace psca {
 
 std::vector<uint16_t>
@@ -72,6 +75,7 @@ makeCounterPlan(const std::vector<uint16_t> &pf_ranked)
 std::vector<uint16_t>
 runPfSelectionPass(const ScaleConfig &scale, const PfConfig &pf_cfg)
 {
+    obs::ScopedPhase phase("pf_selection");
     // Record all 936 counters on a category-diverse app subset.
     const auto apps = buildHdtrApps(scale.pfApps);
     std::vector<Workload> workloads;
@@ -105,6 +109,7 @@ runPfSelectionPass(const ScaleConfig &scale, const PfConfig &pf_cfg)
 ExperimentContext
 setupExperiment(const ScaleConfig &scale, bool need_spec)
 {
+    obs::ScopedPhase phase("setup_experiment");
     ExperimentContext ctx;
     ctx.scale = scale;
 
@@ -156,6 +161,7 @@ trainDual(const std::vector<TraceRecord> &records,
           const BuildConfig &build, const DualTrainOptions &opts,
           const ModelFactory &factory)
 {
+    obs::ScopedPhase phase("train_dual");
     TrainedDual dual;
     for (int m = 0; m < 2; ++m) {
         const CoreMode mode =
@@ -169,12 +175,19 @@ trainDual(const std::vector<TraceRecord> &records,
             assembleDataset(records, asm_opts, build.intervalInstr);
 
         ScaledModel slot;
-        slot.scaler = FeatureScaler::fit(raw);
+        {
+            obs::ScopedPhase fit_phase("scaler_fit");
+            slot.scaler = FeatureScaler::fit(raw);
+        }
         const Dataset scaled = slot.scaler.apply(raw);
-        slot.model = factory(scaled,
-                             mixSeeds(opts.seed,
-                                      static_cast<uint64_t>(m) + 1));
+        {
+            obs::ScopedPhase train_phase("model_training");
+            slot.model = factory(
+                scaled,
+                mixSeeds(opts.seed, static_cast<uint64_t>(m) + 1));
+        }
         if (opts.calibrate) {
+            obs::ScopedPhase cal_phase("threshold_calibration");
             calibrateThreshold(*slot.model, scaled, opts.rsvWindow,
                                opts.targetRsv);
         }
@@ -322,6 +335,7 @@ SuiteResult
 evaluateSuite(const ExperimentContext &ctx, GatePredictor &predictor,
               const std::vector<size_t> &trace_indices, double p_sla)
 {
+    obs::ScopedPhase phase("evaluate_suite");
     SuiteResult suite;
     SlaSpec sla = ctx.sla;
     sla.pSla = p_sla;
@@ -345,6 +359,15 @@ evaluateSuite(const ExperimentContext &ctx, GatePredictor &predictor,
     suite.pgosPct = pgos / n;
     suite.perfRelativePct = perf / n;
     suite.lowResidencyPct = res / n;
+
+    // Headline aggregates of the most recent suite evaluation, so
+    // bench run reports carry RSV/PGOS without recomputation.
+    auto &reg = obs::StatRegistry::instance();
+    reg.gauge("suite.ppw_gain_pct").set(suite.ppwGainPct);
+    reg.gauge("suite.rsv_pct").set(suite.rsvPct);
+    reg.gauge("suite.pgos_pct").set(suite.pgosPct);
+    reg.gauge("suite.perf_relative_pct").set(suite.perfRelativePct);
+    reg.gauge("suite.low_residency_pct").set(suite.lowResidencyPct);
     return suite;
 }
 

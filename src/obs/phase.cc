@@ -1,0 +1,87 @@
+#include "obs/phase.hh"
+
+#include "obs/stats.hh"
+
+namespace psca {
+namespace obs {
+
+uint64_t
+elapsedNs(std::chrono::steady_clock::time_point start)
+{
+    const auto d = std::chrono::steady_clock::now() - start;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+            .count());
+}
+
+PhaseNode *
+PhaseNode::findOrAddChild(const std::string &child_name)
+{
+    for (auto &c : children)
+        if (c->name == child_name)
+            return c.get();
+    children.push_back(std::make_unique<PhaseNode>());
+    children.back()->name = child_name;
+    return children.back().get();
+}
+
+PhaseTracer::PhaseTracer()
+{
+    root_.name = "run";
+    stack_.push_back(&root_);
+}
+
+PhaseTracer &
+PhaseTracer::instance()
+{
+    static PhaseTracer tracer;
+    return tracer;
+}
+
+PhaseNode *
+PhaseTracer::push(const std::string &name)
+{
+    PhaseNode *node = stack_.back()->findOrAddChild(name);
+    ++node->calls;
+    stack_.push_back(node);
+    return node;
+}
+
+void
+PhaseTracer::pop(uint64_t elapsed_ns)
+{
+    if (stack_.size() <= 1)
+        return; // unbalanced pop; keep the root usable
+    stack_.back()->wallNs += elapsed_ns;
+    stack_.pop_back();
+}
+
+void
+PhaseTracer::reset()
+{
+    root_.children.clear();
+    root_.calls = 0;
+    root_.wallNs = 0;
+    // Open ScopedPhases hold no pointers into the tree (they only
+    // talk to the stack), but the stack itself must be rewound.
+    stack_.assign(1, &root_);
+}
+
+ScopedPhase::ScopedPhase(const std::string &name)
+    : start_(std::chrono::steady_clock::now())
+{
+    PhaseTracer::instance().push(name);
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    PhaseTracer::instance().pop(elapsedNs(start_));
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    hist_.add(elapsedNs(start_));
+}
+
+} // namespace obs
+} // namespace psca

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Phase tracing: RAII scopes that nest into a process-wide phase tree
+ * with per-phase wall time and call counts (trace recording, PF
+ * selection, scaler fit, model training, cross-validation, closed-loop
+ * replay, ...). The tree is emitted with the stat-registry run report.
+ *
+ * Like the registry, the tracer is single-threaded by design: one
+ * stack, no locks, ~two steady_clock reads per scope.
+ */
+
+#ifndef PSCA_OBS_PHASE_HH
+#define PSCA_OBS_PHASE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psca {
+namespace obs {
+
+class Histogram;
+
+/** One phase's accumulated time, entered count, and sub-phases. */
+struct PhaseNode
+{
+    std::string name;
+    uint64_t calls = 0;
+    uint64_t wallNs = 0;
+    std::vector<std::unique_ptr<PhaseNode>> children;
+
+    /** Child by name, created on first use (insertion order kept). */
+    PhaseNode *findOrAddChild(const std::string &child_name);
+};
+
+/** The process-wide phase tree and the currently open scope stack. */
+class PhaseTracer
+{
+  public:
+    static PhaseTracer &instance();
+
+    /** Enter a sub-phase of the current phase. */
+    PhaseNode *push(const std::string &name);
+
+    /** Leave the current phase, crediting its elapsed time. */
+    void pop(uint64_t elapsed_ns);
+
+    const PhaseNode &root() const { return root_; }
+
+    /** Drop all recorded phases (open scopes keep working). */
+    void reset();
+
+  private:
+    PhaseTracer();
+
+    PhaseNode root_;
+    std::vector<PhaseNode *> stack_;
+};
+
+/** RAII phase scope: push on construction, pop on destruction. */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(const std::string &name);
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** RAII timer recording its elapsed nanoseconds into a histogram. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &hist)
+        : hist_(hist), start_(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram &hist_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Nanoseconds elapsed since a steady_clock time point. */
+uint64_t elapsedNs(std::chrono::steady_clock::time_point start);
+
+} // namespace obs
+} // namespace psca
+
+#endif // PSCA_OBS_PHASE_HH

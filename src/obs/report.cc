@@ -1,0 +1,47 @@
+#include "obs/report.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "obs/stats.hh"
+
+namespace psca {
+namespace obs {
+
+bool
+reportEnabled()
+{
+    const char *env = std::getenv("PSCA_REPORT");
+    return !(env && std::strcmp(env, "0") == 0);
+}
+
+std::string
+reportPath(const std::string &name)
+{
+    const char *dir = std::getenv("PSCA_REPORT_DIR");
+    if (!dir || !*dir)
+        return name + ".json";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return std::string(dir) + "/" + name + ".json";
+}
+
+void
+writeRunReport(const std::string &name)
+{
+    if (!reportEnabled())
+        return;
+    const std::string path = reportPath(name);
+    StatRegistry::instance().dumpJson(path, name);
+    inform("run report written to ", path);
+}
+
+RunReportGuard::~RunReportGuard()
+{
+    writeRunReport(name_);
+}
+
+} // namespace obs
+} // namespace psca

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Run-report emission: every bench binary and example ends by dumping
+ * the stat registry (counters, gauges, histograms, phase tree) as one
+ * JSON object, so the performance trajectory of the repo is diffable
+ * across runs and PRs.
+ *
+ * Environment:
+ *  - PSCA_REPORT=0        disable report files entirely
+ *  - PSCA_REPORT_DIR=dir  directory for report files (default: cwd)
+ */
+
+#ifndef PSCA_OBS_REPORT_HH
+#define PSCA_OBS_REPORT_HH
+
+#include <string>
+
+namespace psca {
+namespace obs {
+
+/** True unless PSCA_REPORT=0 disabled report emission. */
+bool reportEnabled();
+
+/** Path the report for @p name will be written to (<name>.json). */
+std::string reportPath(const std::string &name);
+
+/**
+ * Dump the registry + phase tree to reportPath(name) and log the
+ * location. No-op when reports are disabled.
+ */
+void writeRunReport(const std::string &name);
+
+/** RAII report: emits writeRunReport(name) at scope exit. */
+class RunReportGuard
+{
+  public:
+    explicit RunReportGuard(std::string name) : name_(std::move(name))
+    {}
+
+    ~RunReportGuard();
+
+    RunReportGuard(const RunReportGuard &) = delete;
+    RunReportGuard &operator=(const RunReportGuard &) = delete;
+
+  private:
+    std::string name_;
+};
+
+} // namespace obs
+} // namespace psca
+
+#endif // PSCA_OBS_REPORT_HH

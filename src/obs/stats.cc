@@ -1,0 +1,379 @@
+#include "obs/stats.hh"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "obs/phase.hh"
+
+namespace psca {
+namespace obs {
+
+double
+Histogram::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p <= 0.0)
+        return min();
+    if (p >= 100.0)
+        return max_;
+    uint64_t rank = static_cast<uint64_t>(std::ceil(
+        p / 100.0 * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= rank) {
+            const uint64_t lo = bucketLowerBound(i);
+            const uint64_t hi =
+                i + 1 < kNumBuckets ? bucketUpperBound(i) : max_;
+            uint64_t mid = lo + (hi - lo) / 2;
+            // The exact extrema beat the bucket resolution.
+            if (mid < min_)
+                mid = min_;
+            if (mid > max_)
+                mid = max_;
+            return mid;
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    count_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    buckets_.fill(0);
+}
+
+void
+Histogram::serialize(BinaryWriter &out) const
+{
+    out.put(count_);
+    out.put(min_);
+    out.put(max_);
+    out.put(mean_);
+    out.put(m2_);
+    out.put<uint64_t>(kNumBuckets);
+    for (uint64_t b : buckets_)
+        out.put(b);
+}
+
+void
+Histogram::deserialize(BinaryReader &in)
+{
+    count_ = in.get<uint64_t>();
+    min_ = in.get<uint64_t>();
+    max_ = in.get<uint64_t>();
+    mean_ = in.get<double>();
+    m2_ = in.get<double>();
+    const uint64_t n = in.get<uint64_t>();
+    PSCA_ASSERT(n == kNumBuckets,
+                "histogram bucket-count mismatch (stale format?)");
+    for (auto &b : buckets_)
+        b = in.get<uint64_t>();
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+StatRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+const Counter *
+StatRegistry::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge *
+StatRegistry::findGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+StatRegistry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void
+StatRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+namespace {
+
+/** Minimal JSON string escaping (names are ASCII identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Print a double as JSON (finite; non-finite becomes 0). */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << buf;
+}
+
+void
+writeHistogramJson(std::ostream &os, const Histogram &h,
+                   const std::string &indent)
+{
+    os << "{\n";
+    os << indent << "  \"count\": " << h.count() << ",\n";
+    os << indent << "  \"min\": " << h.min() << ",\n";
+    os << indent << "  \"max\": " << h.max() << ",\n";
+    os << indent << "  \"mean\": ";
+    jsonNumber(os, h.mean());
+    os << ",\n" << indent << "  \"stddev\": ";
+    jsonNumber(os, h.stddev());
+    os << ",\n";
+    os << indent << "  \"p50\": " << h.percentile(50.0) << ",\n";
+    os << indent << "  \"p95\": " << h.percentile(95.0) << ",\n";
+    os << indent << "  \"p99\": " << h.percentile(99.0) << ",\n";
+    os << indent << "  \"buckets\": [";
+    bool first = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (h.bucketCount(i) == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "[" << Histogram::bucketLowerBound(i) << ", "
+           << h.bucketCount(i) << "]";
+    }
+    os << "]\n" << indent << "}";
+}
+
+void
+writePhaseJson(std::ostream &os, const PhaseNode &node,
+               const std::string &indent)
+{
+    os << indent << "{\"name\": \"" << jsonEscape(node.name)
+       << "\", \"calls\": " << node.calls << ", \"wall_ms\": ";
+    jsonNumber(os, static_cast<double>(node.wallNs) / 1e6);
+    if (node.children.empty()) {
+        os << "}";
+        return;
+    }
+    os << ", \"children\": [\n";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+        writePhaseJson(os, *node.children[i], indent + "  ");
+        if (i + 1 < node.children.size())
+            os << ",";
+        os << "\n";
+    }
+    os << indent << "]}";
+}
+
+void
+writePhaseText(std::ostream &os, const PhaseNode &node, int depth)
+{
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%10.3f ms  x%-8llu ",
+                  static_cast<double>(node.wallNs) / 1e6,
+                  static_cast<unsigned long long>(node.calls));
+    os << buf << node.name << "\n";
+    for (const auto &child : node.children)
+        writePhaseText(os, *child, depth + 1);
+}
+
+} // namespace
+
+void
+StatRegistry::writeJson(std::ostream &os,
+                        const std::string &report_name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    os << "{\n";
+    os << "  \"report\": \"" << jsonEscape(report_name) << "\",\n";
+    os << "  \"schema\": 1,\n";
+
+    os << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": ";
+        jsonNumber(os, g->value());
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": ";
+        writeHistogramJson(os, *h, "    ");
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"phases\": [\n";
+    const PhaseNode &root = PhaseTracer::instance().root();
+    for (size_t i = 0; i < root.children.size(); ++i) {
+        writePhaseJson(os, *root.children[i], "    ");
+        if (i + 1 < root.children.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+StatRegistry::dumpJson(const std::string &path,
+                       const std::string &report_name) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open run-report file '", path, "'");
+    writeJson(out, report_name);
+}
+
+void
+StatRegistry::dumpText(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!counters_.empty()) {
+        os << "counters:\n";
+        for (const auto &[name, c] : counters_)
+            os << "  " << std::left << std::setw(42) << name
+               << std::right << std::setw(16) << c->value() << "\n";
+    }
+    if (!gauges_.empty()) {
+        os << "gauges:\n";
+        for (const auto &[name, g] : gauges_) {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%16.6g", g->value());
+            os << "  " << std::left << std::setw(42) << name
+               << std::right << buf << "\n";
+        }
+    }
+    if (!histograms_.empty()) {
+        os << "histograms:"
+           << "              count       mean        p50        p95"
+           << "        p99        max\n";
+        for (const auto &[name, h] : histograms_) {
+            char buf[128];
+            std::snprintf(
+                buf, sizeof(buf),
+                "%10llu %10.1f %10llu %10llu %10llu %10llu",
+                static_cast<unsigned long long>(h->count()),
+                h->mean(),
+                static_cast<unsigned long long>(h->percentile(50.0)),
+                static_cast<unsigned long long>(h->percentile(95.0)),
+                static_cast<unsigned long long>(h->percentile(99.0)),
+                static_cast<unsigned long long>(h->max()));
+            os << "  " << std::left << std::setw(36) << name
+               << std::right << buf << "\n";
+        }
+    }
+    const PhaseNode &root = PhaseTracer::instance().root();
+    if (!root.children.empty()) {
+        os << "phases:\n";
+        for (const auto &child : root.children)
+            writePhaseText(os, *child, 1);
+    }
+}
+
+} // namespace obs
+} // namespace psca

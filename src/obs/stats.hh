@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Process-wide performance-statistics registry: named counters,
+ * gauges, and log2-bucketed value/duration histograms (elbencho-style
+ * buckets with min/max, Welford mean/variance, and percentile
+ * queries), dumped as a machine-readable JSON run report or a human
+ * text table at the end of a run.
+ *
+ * Design constraints (see DESIGN.md, "Observability overhead"):
+ *
+ *  - Hot-path cost is one plain uint64_t add per event. Stat objects
+ *    are looked up by name once (the registry's map is mutex-guarded
+ *    for registration) and then mutated through a stable reference;
+ *    objects are never deallocated, so cached references stay valid
+ *    for the process lifetime, including across reset().
+ *  - Mutation is unsynchronized by design: the simulator, pipeline,
+ *    and controller are single-threaded. A bench that shares the
+ *    registry across threads must do its own aggregation (or guard
+ *    with std::atomic); the registry deliberately does not tax the
+ *    single-threaded hot path for that case.
+ */
+
+#ifndef PSCA_OBS_STATS_HH
+#define PSCA_OBS_STATS_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace psca {
+
+class BinaryReader;
+class BinaryWriter;
+
+namespace obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Last-written instantaneous value (residencies, budgets, rates). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer values (durations
+ * in nanoseconds, operation counts, sizes).
+ *
+ * Buckets 0..7 hold the exact values 0..7; above that each power of
+ * two is split into kBucketFraction sub-buckets, so the relative
+ * bucket width is 1/kBucketFraction (25%) everywhere — percentile
+ * queries are exact in the linear region and within one bucket width
+ * (a factor of 1.25) beyond it. Alongside the buckets the histogram
+ * keeps exact min/max and an online (Welford) mean/variance, which
+ * are unaffected by bucketing.
+ */
+class Histogram
+{
+  public:
+    /** Sub-buckets per power of two (must be a power of two). */
+    static constexpr uint32_t kBucketFraction = 4;
+    /** log2 of the largest non-clamped value (~2^47 ns = 39 hours). */
+    static constexpr uint32_t kMaxLog2 = 48;
+    /** Linear region: values < 2 * kBucketFraction map to themselves. */
+    static constexpr uint64_t kLinearMax = 2 * kBucketFraction;
+    static constexpr size_t kNumBuckets =
+        kLinearMax + (kMaxLog2 - 3) * kBucketFraction;
+
+    void
+    add(uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        ++count_;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+        const double x = static_cast<double>(v);
+        const double d = x - mean_;
+        mean_ += d / static_cast<double>(count_);
+        m2_ += d * (x - mean_);
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const { return mean_; }
+
+    /** Population variance (m2 / n). */
+    double
+    variance() const
+    {
+        return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const;
+
+    /**
+     * Value at-or-above p percent of samples (p in (0, 100]): the
+     * midpoint of the bucket containing the rank, clamped to the
+     * exact [min, max]. Returns 0 on an empty histogram.
+     */
+    uint64_t percentile(double p) const;
+
+    uint64_t bucketCount(size_t idx) const { return buckets_[idx]; }
+
+    /** Bucket of a value; values >= 2^kMaxLog2 clamp to the last. */
+    static size_t
+    bucketIndex(uint64_t v)
+    {
+        if (v < kLinearMax)
+            return static_cast<size_t>(v);
+        const uint32_t hi =
+            static_cast<uint32_t>(std::bit_width(v)) - 1;
+        if (hi >= kMaxLog2)
+            return kNumBuckets - 1;
+        const uint64_t sub =
+            (v >> (hi - 2)) & (kBucketFraction - 1);
+        return kLinearMax +
+            static_cast<size_t>(hi - 3) * kBucketFraction +
+            static_cast<size_t>(sub);
+    }
+
+    /** Smallest value mapping to a bucket. */
+    static uint64_t
+    bucketLowerBound(size_t idx)
+    {
+        if (idx < kLinearMax)
+            return idx;
+        const uint32_t hi = 3 +
+            static_cast<uint32_t>((idx - kLinearMax) / kBucketFraction);
+        const uint64_t sub = (idx - kLinearMax) % kBucketFraction;
+        return (1ULL << hi) + (sub << (hi - 2));
+    }
+
+    /** Largest value mapping to a bucket (clamp bucket: UINT64_MAX). */
+    static uint64_t
+    bucketUpperBound(size_t idx)
+    {
+        return idx + 1 < kNumBuckets ? bucketLowerBound(idx + 1) - 1
+                                     : UINT64_MAX;
+    }
+
+    void reset();
+
+    /** Binary round-trip in the serialize.hh cache idiom. */
+    void serialize(BinaryWriter &out) const;
+    void deserialize(BinaryReader &in);
+
+  private:
+    uint64_t count_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; //!< Welford sum of squared deviations
+    std::array<uint64_t, kNumBuckets> buckets_{};
+};
+
+/**
+ * The process-wide registry of named stats. Names are dotted paths
+ * ("controller.decision_latency_ns"); dumps sort them, so related
+ * stats group naturally.
+ */
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    /** Find-or-create; the reference is valid for process lifetime. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Lookup without creating (nullptr when absent). */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Zero every stat's value; registered objects stay alive. */
+    void reset();
+
+    /**
+     * Write the full run report (counters, gauges, histogram
+     * summaries, and the phase tree) as one JSON object.
+     */
+    void writeJson(std::ostream &os,
+                   const std::string &report_name) const;
+
+    /** writeJson() to a file; fatal() when the file cannot open. */
+    void dumpJson(const std::string &path,
+                  const std::string &report_name) const;
+
+    /** Human-readable table + phase tree. */
+    void dumpText(std::ostream &os) const;
+
+  private:
+    StatRegistry() = default;
+
+    mutable std::mutex mu_; //!< guards the maps during registration
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace obs
+} // namespace psca
+
+#endif // PSCA_OBS_STATS_HH

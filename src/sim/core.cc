@@ -2,9 +2,49 @@
 
 #include <algorithm>
 
+#include "obs/stats.hh"
+
 namespace psca {
 
 namespace {
+
+/**
+ * Registry hooks for the simulator hot path. References are resolved
+ * once (registry objects are never deallocated) so the per-interval
+ * cost is a handful of plain uint64_t adds.
+ */
+struct SimObs
+{
+    obs::Counter &intervals;
+    obs::Counter &instructions;
+    obs::Counter &cycles;
+    obs::Counter &l1dHits;
+    obs::Counter &l1dMisses;
+    obs::Counter &l2Misses;
+    obs::Counter &llcMisses;
+    obs::Counter &bpredHits;
+    obs::Counter &bpredMisses;
+    obs::Counter &modeSwitches;
+
+    static SimObs &
+    get()
+    {
+        auto &reg = obs::StatRegistry::instance();
+        static SimObs hooks{
+            reg.counter("sim.intervals"),
+            reg.counter("sim.instructions_retired"),
+            reg.counter("sim.cycles"),
+            reg.counter("sim.l1d_hits"),
+            reg.counter("sim.l1d_misses"),
+            reg.counter("sim.l2_misses"),
+            reg.counter("sim.llc_misses"),
+            reg.counter("sim.bpred_hits"),
+            reg.counter("sim.bpred_misses"),
+            reg.counter("sim.mode_switches"),
+        };
+        return hooks;
+    }
+};
 
 /** Bucket a residency/latency value into a 16-bucket histogram. */
 uint16_t
@@ -90,6 +130,7 @@ ClusteredCore::setMode(CoreMode mode)
     if (mode == mode_)
         return;
     counters_.inc(Ctr::ModeSwitches);
+    SimObs::get().modeSwitches.add();
     if (mode == CoreMode::LowPower) {
         // Count registers live on cluster 1; each needs a microcoded
         // transfer uop on cluster 0 (Sec. 3: up to 32, low tens of
@@ -413,6 +454,15 @@ ClusteredCore::run(TraceGenerator &gen, uint64_t n)
     const uint64_t busy1 = busyIssueCycles_[1];
     intervalIssued_ = 0;
 
+    // Interval-start snapshot of the telemetry counters surfaced
+    // through the stat registry below.
+    const uint64_t l1d_hit0 = counters_.value(Ctr::L1dHit);
+    const uint64_t l1d_miss0 = counters_.value(Ctr::L1dMiss);
+    const uint64_t l2_miss0 = counters_.value(Ctr::L2Miss);
+    const uint64_t llc_miss0 = counters_.value(Ctr::LlcMiss);
+    const uint64_t br0 = counters_.value(Ctr::BranchesRetired);
+    const uint64_t br_miss0 = counters_.value(Ctr::BranchMispred);
+
     uint64_t remaining = n;
     while (remaining > 0) {
         const size_t chunk =
@@ -445,6 +495,20 @@ ClusteredCore::run(TraceGenerator &gen, uint64_t n)
     counters_.inc(Ctr::IssueSlotsUnused,
                   slots > intervalIssued_ ? slots - intervalIssued_ : 0);
     counters_.syncMirrors();
+
+    SimObs &so = SimObs::get();
+    so.intervals.add();
+    so.instructions.add(n);
+    so.cycles.add(stats.cycles);
+    so.l1dHits.add(counters_.value(Ctr::L1dHit) - l1d_hit0);
+    so.l1dMisses.add(counters_.value(Ctr::L1dMiss) - l1d_miss0);
+    so.l2Misses.add(counters_.value(Ctr::L2Miss) - l2_miss0);
+    so.llcMisses.add(counters_.value(Ctr::LlcMiss) - llc_miss0);
+    const uint64_t br = counters_.value(Ctr::BranchesRetired) - br0;
+    const uint64_t br_miss =
+        counters_.value(Ctr::BranchMispred) - br_miss0;
+    so.bpredMisses.add(br_miss);
+    so.bpredHits.add(br > br_miss ? br - br_miss : 0);
     return stats;
 }
 

@@ -1,7 +1,11 @@
 #include "uc/vm.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+
+#include "obs/phase.hh"
+#include "obs/stats.hh"
 
 namespace psca {
 
@@ -42,9 +46,20 @@ UcVm::run(const UcProgram &program, const float *inputs,
     if (iregs_.size() < 64)
         iregs_.assign(64, 0);
 
+    static obs::Counter &ops_ctr =
+        obs::StatRegistry::instance().counter("uc.ops_executed");
+    static obs::Counter &runs_ctr =
+        obs::StatRegistry::instance().counter("uc.inferences");
+    static obs::Histogram &duration_hist =
+        obs::StatRegistry::instance().histogram("uc.inference_ns");
+    const auto t0 = std::chrono::steady_clock::now();
+
     ops_ = 0;
     double result = 0.0;
+    bool halted = false;
     for (const auto &inst : program.code) {
+        if (halted)
+            break;
         ops_ += opCost(inst.op);
         switch (inst.op) {
           case UcOpcode::LoadImm:
@@ -111,12 +126,16 @@ UcVm::run(const UcProgram &program, const float *inputs,
             break;
           case UcOpcode::Halt:
             result = fregs_[inst.dst];
-            total_ops_ += ops_;
-            return result;
+            halted = true;
+            break;
         }
     }
     total_ops_ += ops_;
-    warn("firmware program missing Halt");
+    if (!halted)
+        warn("firmware program missing Halt");
+    ops_ctr.add(ops_);
+    runs_ctr.add();
+    duration_hist.add(obs::elapsedNs(t0));
     return result;
 }
 
