@@ -25,6 +25,11 @@ namespace bench {
  * transition counters, suite gauges) is dumped to BENCH_<name>.json
  * when the bench exits, alongside the stdout table. PSCA_REPORT=0
  * disables the file; PSCA_REPORT_DIR redirects it.
+ *
+ * Safe for benches that run parallel regions: the dump takes the
+ * registry mutex and the phase-tree lock for the whole traversal,
+ * and stdio is flushed first (here and in writeRunReport), so the
+ * JSON lands after every table row already printed.
  */
 class ReportGuard
 {
@@ -32,6 +37,14 @@ class ReportGuard
     explicit ReportGuard(const char *name)
         : guard_("BENCH_" + std::string(name))
     {}
+
+    ~ReportGuard()
+    {
+        // Members destruct after this body: the flush lands right
+        // before guard_ writes BENCH_<name>.json.
+        std::fflush(stdout);
+        std::fflush(stderr);
+    }
 
   private:
     obs::RunReportGuard guard_;

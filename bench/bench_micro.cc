@@ -2,16 +2,25 @@
  * @file
  * Google-benchmark microbenchmarks: adaptation-model inference
  * latency (native and firmware-VM), timing-model simulation
- * throughput, and trace-generation throughput. These bound the cost
- * of corpus-scale experiments and document the substrate's speed.
+ * throughput, trace-generation throughput, and the parallel
+ * execution layer (pool dispatch overhead, crossval fan-out scaling).
+ * These bound the cost of corpus-scale experiments and document the
+ * substrate's speed. On exit the measured crossval serial-vs-parallel
+ * speedup is recorded as gauges in BENCH_micro.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
+#include "core/crossval.hh"
 #include "ml/linear.hh"
 #include "ml/mlp.hh"
 #include "ml/tree.hh"
+#include "obs/stats.hh"
 #include "sim/core.hh"
 #include "trace/generator.hh"
 #include "uc/compilers.hh"
@@ -36,6 +45,49 @@ randomData(size_t n, size_t features, uint64_t seed)
         d.addSample(row.data(), acc > 0 ? 1 : 0, 0, 0);
     }
     return d;
+}
+
+/** Multi-app dataset so appLevelSplit has real groups to partition. */
+Dataset
+groupedData(size_t apps, size_t per_app, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d;
+    d.numFeatures = 12;
+    std::vector<float> row(d.numFeatures);
+    for (size_t a = 0; a < apps; ++a) {
+        for (size_t i = 0; i < per_app; ++i) {
+            float acc = 0.0f;
+            for (auto &v : row) {
+                v = static_cast<float>(rng.gaussian());
+                acc += v;
+            }
+            d.addSample(row.data(), acc > 0 ? 1 : 0,
+                        static_cast<uint32_t>(a),
+                        static_cast<uint32_t>(a * 8 + i % 4));
+        }
+    }
+    return d;
+}
+
+/** The crossval fan-out benched below and timed for the report. */
+CrossValSummary
+runCrossvalFanout(const Dataset &d)
+{
+    CrossValOptions opts;
+    opts.folds = 8;
+    opts.seed = 11;
+    opts.rsvWindow = 32;
+    return crossValidate(
+        d,
+        [](const Dataset &tune, uint64_t fold_seed) {
+            ForestConfig fc;
+            fc.numTrees = 8;
+            fc.maxDepth = 6;
+            fc.seed = fold_seed;
+            return std::make_unique<RandomForest>(tune, fc);
+        },
+        opts);
 }
 
 Workload
@@ -188,6 +240,94 @@ BM_MlpTraining(benchmark::State &state)
 }
 BENCHMARK(BM_MlpTraining)->Arg(1000)->Arg(4000);
 
+void
+BM_PoolDispatchOverhead(benchmark::State &state)
+{
+    // Cost of fanning out n trivial tasks: the fixed price every
+    // parallelized loop pays per region.
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    const size_t n = static_cast<size_t>(state.range(1));
+    for (auto _ : state) {
+        pool.parallelFor(n, [](size_t i) {
+            benchmark::DoNotOptimize(i);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+    state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PoolDispatchOverhead)
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({4, 1024});
+
+void
+BM_CrossvalFanout(benchmark::State &state)
+{
+    // End-to-end 8-fold crossval (forest factory) at a given thread
+    // count — the headline fan-out of the parallel layer.
+    const Dataset d = groupedData(16, 120, 8);
+    ThreadPool::configure(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const CrossValSummary s = runCrossvalFanout(d);
+        benchmark::DoNotOptimize(s.pgosMean);
+    }
+    ThreadPool::configure(1);
+    state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CrossvalFanout)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Wall-clock the crossval fan-out once serially and once at the
+ * requested thread count, and record both (plus the ratio) as gauges
+ * so BENCH_micro.json documents the machine's parallel speedup.
+ */
+void
+recordCrossvalSpeedup()
+{
+    using clock = std::chrono::steady_clock;
+    const Dataset d = groupedData(16, 120, 8);
+    const int threads = parallelThreadCount();
+
+    auto time_run = [&](int n) {
+        ThreadPool::configure(n);
+        runCrossvalFanout(d); // warm caches / page in
+        const auto start = clock::now();
+        runCrossvalFanout(d);
+        return std::chrono::duration<double, std::milli>(
+                   clock::now() - start)
+            .count();
+    };
+    const double serial_ms = time_run(1);
+    const double parallel_ms = time_run(threads);
+    ThreadPool::configure(threads);
+
+    auto &reg = obs::StatRegistry::instance();
+    reg.gauge("parallel.threads").set(threads);
+    reg.gauge("parallel.crossval_serial_ms").set(serial_ms);
+    reg.gauge("parallel.crossval_parallel_ms").set(parallel_ms);
+    reg.gauge("parallel.crossval_speedup")
+        .set(parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    std::printf("crossval fan-out: %.1f ms serial, %.1f ms on %d "
+                "threads (%.2fx)\n",
+                serial_ms, parallel_ms, threads,
+                parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Destructs last: the report captures the speedup gauges below.
+    bench::ReportGuard report("micro");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    recordCrossvalSpeedup();
+    return 0;
+}

@@ -1,0 +1,237 @@
+#include "common/parallel.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace psca {
+
+namespace {
+
+/** Set while the current thread is inside a pool task. */
+thread_local bool tls_in_task = false;
+
+ThreadPool::ContextCapture g_ctx_capture = nullptr;
+ThreadPool::ContextEnter g_ctx_enter = nullptr;
+ThreadPool::ContextExit g_ctx_exit = nullptr;
+
+std::mutex g_instance_mu;
+std::unique_ptr<ThreadPool> g_instance;
+
+/** RAII task-context guard around one worker-side task. */
+class TaskContextScope
+{
+  public:
+    explicit TaskContextScope(void *ctx)
+        : entered_(g_ctx_enter != nullptr)
+    {
+        if (entered_)
+            g_ctx_enter(ctx);
+    }
+
+    ~TaskContextScope()
+    {
+        if (entered_ && g_ctx_exit)
+            g_ctx_exit();
+    }
+
+  private:
+    const bool entered_;
+};
+
+} // namespace
+
+/**
+ * One parallelFor region. Held by shared_ptr so a worker that wakes
+ * late sees an exhausted cursor on a still-valid object instead of a
+ * recycled one; the task function itself outlives the region because
+ * the submitter cannot return before every claimed index is counted.
+ */
+struct ThreadPool::Job
+{
+    const std::function<void(size_t)> *fn = nullptr;
+    size_t n = 0;
+    void *ctx = nullptr;
+    std::atomic<size_t> next{0}; //!< shared claim cursor
+    size_t completed = 0;        //!< guarded by the pool mutex
+};
+
+int
+parallelThreadCount()
+{
+    const char *env = std::getenv("PSCA_THREADS");
+    if (env && *env) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<int>(parsed);
+        warn("ignoring invalid PSCA_THREADS='", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : numThreads_(threads < 1 ? 1 : threads)
+{
+    workers_.reserve(static_cast<size_t>(numThreads_ - 1));
+    for (int t = 1; t < numThreads_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+ThreadPool &
+ThreadPool::instance()
+{
+    std::lock_guard<std::mutex> lock(g_instance_mu);
+    if (!g_instance)
+        g_instance =
+            std::make_unique<ThreadPool>(parallelThreadCount());
+    return *g_instance;
+}
+
+void
+ThreadPool::configure(int threads)
+{
+    std::lock_guard<std::mutex> lock(g_instance_mu);
+    g_instance.reset(); // join the old pool before replacing it
+    g_instance = std::make_unique<ThreadPool>(threads);
+}
+
+bool
+ThreadPool::inParallelTask()
+{
+    return tls_in_task;
+}
+
+void
+ThreadPool::setContextHooks(ContextCapture capture, ContextEnter enter,
+                            ContextExit exit)
+{
+    g_ctx_capture = capture;
+    g_ctx_enter = enter;
+    g_ctx_exit = exit;
+}
+
+void
+ThreadPool::runOne(const std::function<void(size_t)> &fn, size_t i)
+{
+    tls_in_task = true;
+    try {
+        fn(i);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(errMu_);
+        // Keep the lowest-index exception so the rethrow is
+        // deterministic regardless of scheduling.
+        if (!err_ || i < errIndex_) {
+            err_ = std::current_exception();
+            errIndex_ = i;
+        }
+    }
+    tls_in_task = false;
+}
+
+void
+ThreadPool::drainJob(const std::shared_ptr<Job> &job, bool is_worker)
+{
+    size_t ran = 0;
+    size_t i;
+    while ((i = job->next.fetch_add(1, std::memory_order_relaxed)) <
+           job->n) {
+        if (is_worker) {
+            // The submitter already carries its phase context; only
+            // detached workers adopt it per task.
+            TaskContextScope scope(job->ctx);
+            runOne(*job->fn, i);
+        } else {
+            runOne(*job->fn, i);
+        }
+        ++ran;
+    }
+    if (ran) {
+        std::lock_guard<std::mutex> lock(mu_);
+        job->completed += ran;
+        if (job->completed == job->n)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_gen = 0;
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stop_ || (job_ && jobGen_ != seen_gen);
+            });
+            if (stop_)
+                return;
+            seen_gen = jobGen_;
+            job = job_;
+        }
+        drainJob(job, /*is_worker=*/true);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // Exact serial path: one thread, one task, or a nested region
+    // (a task spawning a region runs it inline — the pool can never
+    // wait on itself).
+    if (numThreads_ == 1 || n == 1 || tls_in_task) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Serialize whole regions: a second submitting thread queues
+    // here until the first region drains.
+    std::lock_guard<std::mutex> submit_lock(submitMu_);
+
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    job->ctx = g_ctx_capture ? g_ctx_capture() : nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = job;
+        ++jobGen_;
+    }
+    wake_.notify_all();
+
+    drainJob(job, /*is_worker=*/false);
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [&] { return job->completed == job->n; });
+        job_.reset();
+    }
+
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(errMu_);
+        err = err_;
+        err_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace psca

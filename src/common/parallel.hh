@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Deterministic parallel execution: a fixed-size thread pool with a
+ * `parallelFor(n, fn)` / `parallelMap(n, fn)` API for the repo's
+ * embarrassingly parallel fan-outs (per-trace recording, per-fold
+ * cross-validation, per-tree forest fitting, per-record dataset
+ * assembly).
+ *
+ * Determinism contract (see DESIGN.md §8 "Concurrency architecture"):
+ *
+ *  - Task i's result depends only on i and the captured inputs, never
+ *    on which thread runs it or in what order. Callers that need
+ *    randomness derive a per-task substream with taskRng(seed, i)
+ *    instead of sharing an Rng across tasks.
+ *  - parallelMap writes task i's result into slot i, and callers
+ *    reduce in index order, so every aggregate is bit-identical to
+ *    the serial run regardless of PSCA_THREADS or scheduling.
+ *  - With PSCA_THREADS=1 (or n <= 1) parallelFor degenerates to the
+ *    exact serial loop on the calling thread: no worker threads are
+ *    consulted, no task wrappers run.
+ *
+ * Sizing: the process-wide pool (ThreadPool::instance()) is created
+ * once, sized by the PSCA_THREADS environment variable (default:
+ * hardware_concurrency). Work is distributed by atomic index
+ * claiming — idle workers steal the next unclaimed chunk of indices
+ * from a shared cursor, so an imbalanced task mix still saturates the
+ * pool. Nested parallelFor calls (a parallel region entered from
+ * inside a task) run inline on the claiming thread, so the pool can
+ * never deadlock on itself.
+ *
+ * Exceptions thrown by tasks are captured and the one with the
+ * LOWEST task index is rethrown on the calling thread after all
+ * claimed tasks finish — again independent of scheduling.
+ */
+
+#ifndef PSCA_COMMON_PARALLEL_HH
+#define PSCA_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace psca {
+
+/**
+ * Thread count requested for this process: PSCA_THREADS if set (>= 1;
+ * 0 or unparsable values fall back), else hardware_concurrency().
+ */
+int parallelThreadCount();
+
+/**
+ * Fixed-size pool of `threads - 1` workers; the submitting thread
+ * participates as executor 0, so `threads` tasks run concurrently.
+ */
+class ThreadPool
+{
+  public:
+    /** Build a pool with an explicit size (tests, benches). */
+    explicit ThreadPool(int threads);
+
+    /** Joins all workers; pending work must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** The process-wide pool, created once, sized by PSCA_THREADS. */
+    static ThreadPool &instance();
+
+    /**
+     * Replace the process-wide pool with one of the given size (the
+     * old pool is joined first). Test/bench hook for comparing
+     * thread counts in one process; must not race live parallelFor
+     * calls.
+     */
+    static void configure(int threads);
+
+    int numThreads() const { return numThreads_; }
+
+    /**
+     * Run fn(0..n-1) across the pool and block until all complete.
+     * Serial (inline, in index order) when the pool has one thread,
+     * n <= 1, or the caller is itself a pool task. Rethrows the
+     * lowest-index task exception after the region drains.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** parallelFor that collects fn(i) into slot i of the result. */
+    template <typename T, typename F>
+    std::vector<T>
+    parallelMap(size_t n, F &&fn)
+    {
+        std::vector<T> out(n);
+        parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** True while the calling thread is executing a pool task. */
+    static bool inParallelTask();
+
+    /**
+     * Context propagation hooks (registered once, by the obs layer):
+     * capture() runs on the submitting thread per parallelFor and its
+     * result is handed to enter() on a worker before each task;
+     * exit() runs after the task. Used to parent worker-side phase
+     * scopes under the submitter's current phase.
+     */
+    using ContextCapture = void *(*)();
+    using ContextEnter = void (*)(void *);
+    using ContextExit = void (*)();
+    static void setContextHooks(ContextCapture capture,
+                                ContextEnter enter, ContextExit exit);
+
+  private:
+    struct Job;
+
+    void workerLoop();
+
+    /** Claim-and-run loop shared by workers and the submitter. */
+    void drainJob(const std::shared_ptr<Job> &job, bool is_worker);
+
+    void runOne(const std::function<void(size_t)> &fn, size_t i);
+
+    const int numThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex submitMu_; //!< serializes whole parallelFor regions
+    std::mutex mu_; //!< guards job hand-off and completion signaling
+    std::condition_variable wake_; //!< workers: new job or stop
+    std::condition_variable done_; //!< submitter: all tasks finished
+    uint64_t jobGen_ = 0;
+    std::shared_ptr<Job> job_; //!< the active region, if any
+    bool stop_ = false;
+
+    std::mutex errMu_; //!< guards the lowest-index exception slot
+    size_t errIndex_ = 0;
+    std::exception_ptr err_;
+};
+
+/** Seed for task i of a parallel region seeded with @p base. */
+inline uint64_t
+taskSeed(uint64_t base, uint64_t task_index)
+{
+    return mixSeeds(base, task_index + 1);
+}
+
+/**
+ * Independent deterministic RNG substream for task i: the same
+ * derivation a serial loop uses per iteration, so parallel and serial
+ * runs draw identical streams.
+ */
+inline Rng
+taskRng(uint64_t base, uint64_t task_index)
+{
+    return Rng(taskSeed(base, task_index));
+}
+
+} // namespace psca
+
+#endif // PSCA_COMMON_PARALLEL_HH

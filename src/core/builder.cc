@@ -1,7 +1,9 @@
 #include "core/builder.hh"
 
+#include <atomic>
 #include <filesystem>
 
+#include "common/parallel.hh"
 #include "common/serialize.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
@@ -143,10 +145,20 @@ recordTrace(const Workload &workload, const BuildConfig &cfg,
     record.traceId = trace_id;
     record.numCounters = static_cast<uint16_t>(cfg.counterIds.size());
 
-    recordMode(workload, cfg, CoreMode::HighPerf, record.deltaHigh,
-               record.cyclesHigh, record.energyHighNj);
-    recordMode(workload, cfg, CoreMode::LowPower, record.deltaLow,
-               record.cyclesLow, record.energyLowNj);
+    // The two fixed-mode passes are independent simulations writing
+    // disjoint vectors; run them as a two-task region. Inside a
+    // recordCorpus fan-out this degenerates to the serial pair
+    // (nested regions run inline).
+    ThreadPool::instance().parallelFor(2, [&](size_t m) {
+        if (m == 0)
+            recordMode(workload, cfg, CoreMode::HighPerf,
+                       record.deltaHigh, record.cyclesHigh,
+                       record.energyHighNj);
+        else
+            recordMode(workload, cfg, CoreMode::LowPower,
+                       record.deltaLow, record.cyclesLow,
+                       record.energyLowNj);
+    });
     PSCA_ASSERT(record.cyclesHigh.size() == record.cyclesLow.size(),
                 "mode runs disagree on interval count");
     return record;
@@ -192,15 +204,28 @@ recordCorpus(const std::vector<Workload> &workloads,
     }
 
     inform("recording ", workloads.size(), " traces (tag=", cache_tag,
-           ", dual-mode simulation; cached to ", path, ")");
-    std::vector<TraceRecord> records;
-    records.reserve(workloads.size());
-    for (size_t i = 0; i < workloads.size(); ++i) {
-        records.push_back(recordTrace(workloads[i], cfg, app_ids[i],
-                                      static_cast<uint32_t>(i)));
-        if ((i + 1) % 200 == 0)
-            inform("  ", i + 1, "/", workloads.size(), " traces");
-    }
+           ", dual-mode simulation, ",
+           ThreadPool::instance().numThreads(),
+           " threads; cached to ", path, ")");
+    // Each trace records independently (fresh core, fresh generator,
+    // no RNG shared across tasks), so the fan-out is a parallelMap
+    // into index slots: the cache file and every consumer see records
+    // in workload order regardless of thread count.
+    std::atomic<size_t> progress{0};
+    std::vector<TraceRecord> records =
+        ThreadPool::instance().parallelMap<TraceRecord>(
+            workloads.size(), [&](size_t i) {
+                TraceRecord r = recordTrace(workloads[i], cfg,
+                                            app_ids[i],
+                                            static_cast<uint32_t>(i));
+                const size_t done =
+                    progress.fetch_add(1, std::memory_order_relaxed) +
+                    1;
+                if (done % 200 == 0)
+                    inform("  ", done, "/", workloads.size(),
+                           " traces");
+                return r;
+            });
 
     BinaryWriter out(path);
     out.put(kCacheMagic);
@@ -250,28 +275,46 @@ assembleDataset(const std::vector<TraceRecord> &records,
     }
     out.numFeatures = columns.size();
 
-    std::vector<float> features(out.numFeatures);
-    for (const auto &record : records) {
-        const auto labels = blockLabels(record, k, opts.pSla);
-        const size_t blocks = labels.size();
-        const bool low = opts.telemetryMode == CoreMode::LowPower;
-        for (size_t b = 0; b + 2 < blocks; ++b) {
-            double cyc = 0.0;
-            std::vector<double> agg(out.numFeatures, 0.0);
-            for (size_t t = b * k; t < (b + 1) * k; ++t) {
-                const float *row =
-                    low ? record.rowLow(t) : record.rowHigh(t);
-                for (size_t j = 0; j < columns.size(); ++j)
-                    agg[j] += row[columns[j]];
-                cyc += low ? record.cyclesLow[t]
-                           : record.cyclesHigh[t];
-            }
-            const double inv = cyc > 0.0 ? 1.0 / cyc : 0.0;
-            for (size_t j = 0; j < out.numFeatures; ++j)
-                features[j] = static_cast<float>(agg[j] * inv);
-            out.addSample(features.data(), labels[b + 2],
-                          record.appId, record.traceId);
-        }
+    // Assemble each record's samples independently, then concatenate
+    // the partial datasets in record order — bit-identical to the
+    // serial per-record loop at any thread count.
+    std::vector<Dataset> parts =
+        ThreadPool::instance().parallelMap<Dataset>(
+            records.size(), [&](size_t r) {
+                const auto &record = records[r];
+                Dataset part;
+                part.numFeatures = out.numFeatures;
+                std::vector<float> features(part.numFeatures);
+                const auto labels = blockLabels(record, k, opts.pSla);
+                const size_t blocks = labels.size();
+                const bool low =
+                    opts.telemetryMode == CoreMode::LowPower;
+                for (size_t b = 0; b + 2 < blocks; ++b) {
+                    double cyc = 0.0;
+                    std::vector<double> agg(part.numFeatures, 0.0);
+                    for (size_t t = b * k; t < (b + 1) * k; ++t) {
+                        const float *row =
+                            low ? record.rowLow(t) : record.rowHigh(t);
+                        for (size_t j = 0; j < columns.size(); ++j)
+                            agg[j] += row[columns[j]];
+                        cyc += low ? record.cyclesLow[t]
+                                   : record.cyclesHigh[t];
+                    }
+                    const double inv = cyc > 0.0 ? 1.0 / cyc : 0.0;
+                    for (size_t j = 0; j < part.numFeatures; ++j)
+                        features[j] = static_cast<float>(agg[j] * inv);
+                    part.addSample(features.data(), labels[b + 2],
+                                   record.appId, record.traceId);
+                }
+                return part;
+            });
+    for (const auto &part : parts) {
+        out.x.insert(out.x.end(), part.x.begin(), part.x.end());
+        out.y.insert(out.y.end(), part.y.begin(), part.y.end());
+        out.appId.insert(out.appId.end(), part.appId.begin(),
+                         part.appId.end());
+        out.traceId.insert(out.traceId.end(), part.traceId.begin(),
+                           part.traceId.end());
     }
     return out;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <optional>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "math/stats.hh"
 #include "obs/phase.hh"
@@ -95,13 +97,21 @@ crossValidate(const Dataset &data, const ModelFactory &factory,
     CrossValSummary summary;
     std::vector<double> pgos, rsv, acc;
 
-    for (int fold = 0; fold < opts.folds; ++fold) {
-        const uint64_t fold_seed =
-            mixSeeds(opts.seed, static_cast<uint64_t>(fold) + 1);
+    // Each fold derives everything from fold_seed = mixSeeds(seed,
+    // fold + 1) — the same substream rule the serial loop used — so
+    // folds train and evaluate concurrently and the aggregation below
+    // (in fold order, skipped folds preserved as nullopt) reproduces
+    // the serial summary bit for bit.
+    std::vector<std::optional<EvalResult>> fold_results =
+        ThreadPool::instance()
+            .parallelMap<std::optional<EvalResult>>(
+                static_cast<size_t>(opts.folds),
+                [&](size_t fold) -> std::optional<EvalResult> {
+        const uint64_t fold_seed = taskSeed(opts.seed, fold);
         FoldSplit split = appLevelSplit(data, opts.tuneFraction,
                                         fold_seed, opts.maxTuneApps);
         if (split.tuneIdx.empty() || split.validIdx.empty())
-            continue;
+            return std::nullopt;
 
         if (opts.maxTuneSamples > 0 &&
             split.tuneIdx.size() > opts.maxTuneSamples) {
@@ -121,12 +131,16 @@ crossValidate(const Dataset &data, const ModelFactory &factory,
                                opts.targetRsv);
         }
 
-        const EvalResult eval =
-            evaluateModel(*model, valid, opts.rsvWindow);
-        summary.folds.push_back(eval);
-        pgos.push_back(eval.pgos);
-        rsv.push_back(eval.rsv);
-        acc.push_back(eval.confusion.accuracy());
+        return evaluateModel(*model, valid, opts.rsvWindow);
+    });
+
+    for (const auto &eval : fold_results) {
+        if (!eval)
+            continue;
+        summary.folds.push_back(*eval);
+        pgos.push_back(eval->pgos);
+        rsv.push_back(eval->rsv);
+        acc.push_back(eval->confusion.accuracy());
     }
 
     summary.pgosMean = mean(pgos);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "math/stats.hh"
 
@@ -57,24 +58,36 @@ pfCounterSelection(const std::vector<TraceRecord> &records,
     const bool low = mode == CoreMode::LowPower;
 
     // ---- Screen 1: low-activity counters ------------------------------
+    // Scan each record independently (a 0/1 flag per counter), then
+    // sum the per-record flag rows in record order; integer sums make
+    // the merge exact at any thread count.
+    std::vector<std::vector<uint32_t>> flags_per_record =
+        ThreadPool::instance().parallelMap<std::vector<uint32_t>>(
+            records.size(), [&](size_t r) {
+                const auto &record = records[r];
+                std::vector<uint32_t> flags(width, 0);
+                const size_t n = record.numIntervals();
+                if (n == 0)
+                    return flags;
+                std::vector<uint32_t> zeros(width, 0);
+                for (size_t t = 0; t < n; ++t) {
+                    const float *row = low ? record.rowLow(t)
+                                           : record.rowHigh(t);
+                    for (size_t j = 0; j < width; ++j)
+                        zeros[j] += row[j] == 0.0f ? 1 : 0;
+                }
+                for (size_t j = 0; j < width; ++j) {
+                    if (static_cast<double>(zeros[j]) >
+                        cfg.zeroFractionPerTrace *
+                            static_cast<double>(n))
+                        flags[j] = 1;
+                }
+                return flags;
+            });
     std::vector<uint32_t> flagged(width, 0);
-    for (const auto &record : records) {
-        const size_t n = record.numIntervals();
-        if (n == 0)
-            continue;
-        std::vector<uint32_t> zeros(width, 0);
-        for (size_t t = 0; t < n; ++t) {
-            const float *row = low ? record.rowLow(t)
-                                   : record.rowHigh(t);
-            for (size_t j = 0; j < width; ++j)
-                zeros[j] += row[j] == 0.0f ? 1 : 0;
-        }
-        for (size_t j = 0; j < width; ++j) {
-            if (static_cast<double>(zeros[j]) >
-                cfg.zeroFractionPerTrace * static_cast<double>(n))
-                ++flagged[j];
-        }
-    }
+    for (const auto &flags : flags_per_record)
+        for (size_t j = 0; j < width; ++j)
+            flagged[j] += flags[j];
     std::vector<uint16_t> active;
     for (size_t j = 0; j < width; ++j) {
         if (static_cast<double>(flagged[j]) <=

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
 
@@ -110,6 +111,8 @@ ExperimentContext
 setupExperiment(const ScaleConfig &scale, bool need_spec)
 {
     obs::ScopedPhase phase("setup_experiment");
+    inform("experiment setup (", ThreadPool::instance().numThreads(),
+           " threads; set PSCA_THREADS to override)");
     ExperimentContext ctx;
     ctx.scale = scale;
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/parallel.hh"
+
 namespace psca {
 
 namespace {
@@ -178,26 +180,31 @@ DecisionTree::describe() const
 RandomForest::RandomForest(const Dataset &data, const ForestConfig &cfg)
 {
     const size_t n = data.numSamples();
-    Rng rng(cfg.seed ^ 0xf02e57ULL);
     const size_t subset = cfg.featureSubset
         ? cfg.featureSubset
         : std::max<size_t>(1, static_cast<size_t>(
               std::round(std::sqrt(
                   static_cast<double>(data.numFeatures)))));
 
-    for (int t = 0; t < cfg.numTrees; ++t) {
-        // Bootstrap sample.
-        std::vector<size_t> sample(n);
-        for (auto &s : sample)
-            s = static_cast<size_t>(rng.below(n ? n : 1));
-        TreeConfig tc;
-        tc.maxDepth = cfg.maxDepth;
-        tc.minSamplesLeaf = cfg.minSamplesLeaf;
-        tc.featureSubset = subset;
-        tc.seed = mixSeeds(cfg.seed, static_cast<uint64_t>(t) + 1);
-        trees_.push_back(
-            std::make_unique<DecisionTree>(data, sample, tc));
-    }
+    // Every tree derives its own RNG substreams from the forest seed
+    // (bootstrap and split-feature streams are independent per tree),
+    // so trees fit concurrently into their slots and the ensemble is
+    // identical at any thread count.
+    trees_.resize(static_cast<size_t>(cfg.numTrees));
+    ThreadPool::instance().parallelFor(
+        static_cast<size_t>(cfg.numTrees), [&](size_t t) {
+            Rng rng = taskRng(cfg.seed ^ 0xf02e57ULL, t);
+            std::vector<size_t> sample(n); // bootstrap sample
+            for (auto &s : sample)
+                s = static_cast<size_t>(rng.below(n ? n : 1));
+            TreeConfig tc;
+            tc.maxDepth = cfg.maxDepth;
+            tc.minSamplesLeaf = cfg.minSamplesLeaf;
+            tc.featureSubset = subset;
+            tc.seed = mixSeeds(cfg.seed, t + 1);
+            trees_[t] =
+                std::make_unique<DecisionTree>(data, sample, tc);
+        });
 }
 
 RandomForest::RandomForest(

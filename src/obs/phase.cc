@@ -1,9 +1,55 @@
 #include "obs/phase.hh"
 
+#include "common/parallel.hh"
 #include "obs/stats.hh"
 
 namespace psca {
 namespace obs {
+
+namespace {
+
+/**
+ * This thread's open-scope stack. Lazily rooted at the tree root the
+ * first time the thread pushes a scope; pool tasks re-root it at the
+ * submitter's phase via beginTask/endTask.
+ */
+thread_local std::vector<PhaseNode *> tls_stack;
+
+/** Saved stack while this thread runs a pool task (one level deep). */
+thread_local std::vector<PhaseNode *> tls_saved_stack;
+
+/** ThreadPool context hooks: carry the submitter's phase to workers. */
+void *
+captureContext()
+{
+    return PhaseTracer::instance().current();
+}
+
+void
+enterContext(void *ctx)
+{
+    PhaseTracer::instance().beginTask(static_cast<PhaseNode *>(ctx));
+}
+
+void
+exitContext()
+{
+    PhaseTracer::instance().endTask();
+}
+
+/**
+ * Register the hooks at static-init time so the first parallelFor —
+ * whoever triggers it — already propagates phase context. The hook
+ * targets in parallel.cc are plain function pointers
+ * (constant-initialized), so cross-TU init order is harmless.
+ */
+const bool g_hooks_registered = [] {
+    ThreadPool::setContextHooks(captureContext, enterContext,
+                                exitContext);
+    return true;
+}();
+
+} // namespace
 
 uint64_t
 elapsedNs(std::chrono::steady_clock::time_point start)
@@ -28,7 +74,6 @@ PhaseNode::findOrAddChild(const std::string &child_name)
 PhaseTracer::PhaseTracer()
 {
     root_.name = "run";
-    stack_.push_back(&root_);
 }
 
 PhaseTracer &
@@ -39,32 +84,58 @@ PhaseTracer::instance()
 }
 
 PhaseNode *
+PhaseTracer::current()
+{
+    return tls_stack.empty() ? &root_ : tls_stack.back();
+}
+
+PhaseNode *
 PhaseTracer::push(const std::string &name)
 {
-    PhaseNode *node = stack_.back()->findOrAddChild(name);
+    std::lock_guard<std::mutex> lock(treeMu_);
+    PhaseNode *parent = tls_stack.empty() ? &root_ : tls_stack.back();
+    PhaseNode *node = parent->findOrAddChild(name);
     ++node->calls;
-    stack_.push_back(node);
+    tls_stack.push_back(node);
     return node;
 }
 
 void
 PhaseTracer::pop(uint64_t elapsed_ns)
 {
-    if (stack_.size() <= 1)
+    std::lock_guard<std::mutex> lock(treeMu_);
+    if (tls_stack.empty())
         return; // unbalanced pop; keep the root usable
-    stack_.back()->wallNs += elapsed_ns;
-    stack_.pop_back();
+    tls_stack.back()->wallNs += elapsed_ns;
+    tls_stack.pop_back();
+}
+
+void
+PhaseTracer::beginTask(PhaseNode *parent)
+{
+    tls_saved_stack.swap(tls_stack);
+    tls_stack.clear();
+    if (parent)
+        tls_stack.push_back(parent);
+}
+
+void
+PhaseTracer::endTask()
+{
+    tls_stack.swap(tls_saved_stack);
+    tls_saved_stack.clear();
 }
 
 void
 PhaseTracer::reset()
 {
+    std::lock_guard<std::mutex> lock(treeMu_);
     root_.children.clear();
     root_.calls = 0;
     root_.wallNs = 0;
-    // Open ScopedPhases hold no pointers into the tree (they only
-    // talk to the stack), but the stack itself must be rewound.
-    stack_.assign(1, &root_);
+    // Open ScopedPhases on this thread hold pointers into the cleared
+    // tree; rewind the stack so later pushes re-root cleanly.
+    tls_stack.clear();
 }
 
 ScopedPhase::ScopedPhase(const std::string &name)

@@ -5,8 +5,15 @@
  * selection, scaler fit, model training, cross-validation, closed-loop
  * replay, ...). The tree is emitted with the stat-registry run report.
  *
- * Like the registry, the tracer is single-threaded by design: one
- * stack, no locks, ~two steady_clock reads per scope.
+ * Threading (DESIGN.md §8): every thread has its own scope stack
+ * (thread_local), while the tree itself — node creation, call
+ * counts, wall-time credits — is guarded by one tracer mutex taken
+ * per push/pop. Scopes are coarse (a trace replay, a fold, a tree
+ * fit), so the lock is uncontended in practice. When the thread
+ * pool runs a task on a worker, the submitter's current phase is
+ * captured and the worker's stack is rooted there for the task's
+ * duration (beginTask/endTask, wired via ThreadPool context hooks),
+ * so worker-side scopes nest under the phase that spawned them.
  */
 
 #ifndef PSCA_OBS_PHASE_HH
@@ -15,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,28 +43,55 @@ struct PhaseNode
     PhaseNode *findOrAddChild(const std::string &child_name);
 };
 
-/** The process-wide phase tree and the currently open scope stack. */
+/** The process-wide phase tree and per-thread open-scope stacks. */
 class PhaseTracer
 {
   public:
     static PhaseTracer &instance();
 
-    /** Enter a sub-phase of the current phase. */
+    /** Enter a sub-phase of this thread's current phase. */
     PhaseNode *push(const std::string &name);
 
-    /** Leave the current phase, crediting its elapsed time. */
+    /** Leave this thread's current phase, crediting elapsed time. */
     void pop(uint64_t elapsed_ns);
+
+    /** This thread's innermost open phase (the tree root if none). */
+    PhaseNode *current();
+
+    /**
+     * Re-root this thread's stack at @p parent for the duration of a
+     * pool task, so scopes opened by the task nest under the phase
+     * that submitted the parallel region; endTask() restores the
+     * thread's own stack. At most one task is active per thread
+     * (nested parallel regions run inline).
+     */
+    void beginTask(PhaseNode *parent);
+    void endTask();
 
     const PhaseNode &root() const { return root_; }
 
-    /** Drop all recorded phases (open scopes keep working). */
+    /**
+     * Lock that freezes the tree for a consistent dump. Dump paths
+     * hold it across the whole traversal; push/pop take the same
+     * mutex per operation.
+     */
+    std::unique_lock<std::mutex> lockTree() const
+    {
+        return std::unique_lock<std::mutex>(treeMu_);
+    }
+
+    /**
+     * Drop all recorded phases. Must not run concurrently with open
+     * scopes on other threads (call it between parallel regions):
+     * their stacks hold raw pointers into the tree being cleared.
+     */
     void reset();
 
   private:
     PhaseTracer();
 
+    mutable std::mutex treeMu_; //!< guards every node in the tree
     PhaseNode root_;
-    std::vector<PhaseNode *> stack_;
 };
 
 /** RAII phase scope: push on construction, pop on destruction. */

@@ -1,5 +1,6 @@
 #include "obs/report.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -33,6 +34,10 @@ writeRunReport(const std::string &name)
 {
     if (!reportEnabled())
         return;
+    // Drain any buffered log output first so a consumer tailing the
+    // log sees every line from the run before the report appears.
+    std::fflush(stderr);
+    std::fflush(stdout);
     const std::string path = reportPath(name);
     StatRegistry::instance().dumpJson(path, name);
     inform("run report written to ", path);

@@ -12,6 +12,19 @@
 namespace psca {
 namespace obs {
 
+size_t
+Counter::shardIndex()
+{
+    // Round-robin shard assignment: the first kShards threads each
+    // get a private cache line; beyond that, threads share lines but
+    // stay correct (the adds are atomic).
+    static std::atomic<size_t> next_id{0};
+    thread_local const size_t id =
+        next_id.fetch_add(1, std::memory_order_relaxed) %
+        Counter::kShards;
+    return id;
+}
+
 double
 Histogram::stddev() const
 {
@@ -21,10 +34,11 @@ Histogram::stddev() const
 uint64_t
 Histogram::percentile(double p) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (count_ == 0)
         return 0;
     if (p <= 0.0)
-        return min();
+        return min_;
     if (p >= 100.0)
         return max_;
     uint64_t rank = static_cast<uint64_t>(std::ceil(
@@ -56,6 +70,7 @@ Histogram::percentile(double p) const
 void
 Histogram::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     count_ = 0;
     min_ = UINT64_MAX;
     max_ = 0;
@@ -67,6 +82,7 @@ Histogram::reset()
 void
 Histogram::serialize(BinaryWriter &out) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     out.put(count_);
     out.put(min_);
     out.put(max_);
@@ -80,6 +96,7 @@ Histogram::serialize(BinaryWriter &out) const
 void
 Histogram::deserialize(BinaryReader &in)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     count_ = in.get<uint64_t>();
     min_ = in.get<uint64_t>();
     max_ = in.get<uint64_t>();
@@ -309,6 +326,9 @@ StatRegistry::writeJson(std::ostream &os,
     os << (first ? "" : "\n  ") << "},\n";
 
     os << "  \"phases\": [\n";
+    // Freeze the phase tree for the whole traversal: a straggler
+    // scope closing on another thread must not mutate nodes mid-dump.
+    const auto tree_lock = PhaseTracer::instance().lockTree();
     const PhaseNode &root = PhaseTracer::instance().root();
     for (size_t i = 0; i < root.children.size(); ++i) {
         writePhaseJson(os, *root.children[i], "    ");
@@ -367,6 +387,7 @@ StatRegistry::dumpText(std::ostream &os) const
                << std::right << buf << "\n";
         }
     }
+    const auto tree_lock = PhaseTracer::instance().lockTree();
     const PhaseNode &root = PhaseTracer::instance().root();
     if (!root.children.empty()) {
         os << "phases:\n";

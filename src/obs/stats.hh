@@ -6,24 +6,33 @@
  * queries), dumped as a machine-readable JSON run report or a human
  * text table at the end of a run.
  *
- * Design constraints (see DESIGN.md, "Observability overhead"):
+ * Design constraints (see DESIGN.md, "Observability overhead" and
+ * §8 "Concurrency architecture"):
  *
- *  - Hot-path cost is one plain uint64_t add per event. Stat objects
- *    are looked up by name once (the registry's map is mutex-guarded
- *    for registration) and then mutated through a stable reference;
- *    objects are never deallocated, so cached references stay valid
- *    for the process lifetime, including across reset().
- *  - Mutation is unsynchronized by design: the simulator, pipeline,
- *    and controller are single-threaded. A bench that shares the
- *    registry across threads must do its own aggregation (or guard
- *    with std::atomic); the registry deliberately does not tax the
- *    single-threaded hot path for that case.
+ *  - Stat objects are looked up by name once (the registry's map is
+ *    mutex-guarded for registration) and then mutated through a
+ *    stable reference; objects are never deallocated, so cached
+ *    references stay valid for the process lifetime, including
+ *    across reset().
+ *  - Mutation is safe under the parallel execution layer
+ *    (common/parallel.hh). Counters are sharded per thread: add() is
+ *    one relaxed fetch_add on a cache line no other running thread
+ *    touches, so the hot path stays an uncontended add and the final
+ *    value() (read after the pool joins) is the exact deterministic
+ *    sum regardless of thread count. Gauges are relaxed atomics.
+ *    Histograms take a private mutex per add(): they are recorded at
+ *    decision granularity (once per tens of thousands of simulated
+ *    instructions), where an uncontended lock is noise. Histogram
+ *    Welford moments merge in arrival order, so their low-order
+ *    float bits are the one stat NOT covered by the bit-identity
+ *    contract; counts, min/max, and bucket totals are exact.
  */
 
 #ifndef PSCA_OBS_STATS_HH
 #define PSCA_OBS_STATS_HH
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <iosfwd>
@@ -39,28 +48,66 @@ class BinaryWriter;
 
 namespace obs {
 
-/** Monotonically increasing event count. */
+/**
+ * Monotonically increasing event count, sharded so concurrent
+ * writers on different threads land on different cache lines. The
+ * shard is picked by a per-thread round-robin id, so up to kShards
+ * threads mutate completely contention-free; value() sums shards.
+ */
 class Counter
 {
   public:
-    void add(uint64_t n = 1) { value_ += n; }
-    uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    /** Shards (power of two); more threads than this share lines. */
+    static constexpr size_t kShards = 16;
+
+    void
+    add(uint64_t n = 1)
+    {
+        shards_[shardIndex()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        uint64_t sum = 0;
+        for (const auto &s : shards_)
+            sum += s.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : shards_)
+            s.value.store(0, std::memory_order_relaxed);
+    }
 
   private:
-    uint64_t value_ = 0;
+    /** This thread's shard slot, assigned round-robin on first use. */
+    static size_t shardIndex();
+
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> value{0};
+    };
+
+    std::array<Shard, kShards> shards_{};
 };
 
 /** Last-written instantaneous value (residencies, budgets, rates). */
 class Gauge
 {
   public:
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
@@ -90,6 +137,7 @@ class Histogram
     void
     add(uint64_t v)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         ++buckets_[bucketIndex(v)];
         ++count_;
         if (v < min_)
@@ -102,15 +150,39 @@ class Histogram
         m2_ += d * (x - mean_);
     }
 
-    uint64_t count() const { return count_; }
-    uint64_t min() const { return count_ ? min_ : 0; }
-    uint64_t max() const { return max_; }
-    double mean() const { return mean_; }
+    uint64_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return count_;
+    }
+
+    uint64_t
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return count_ ? min_ : 0;
+    }
+
+    uint64_t
+    max() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return max_;
+    }
+
+    double
+    mean() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return mean_;
+    }
 
     /** Population variance (m2 / n). */
     double
     variance() const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         return count_ ? m2_ / static_cast<double>(count_) : 0.0;
     }
 
@@ -123,7 +195,12 @@ class Histogram
      */
     uint64_t percentile(double p) const;
 
-    uint64_t bucketCount(size_t idx) const { return buckets_[idx]; }
+    uint64_t
+    bucketCount(size_t idx) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return buckets_[idx];
+    }
 
     /** Bucket of a value; values >= 2^kMaxLog2 clamp to the last. */
     static size_t
@@ -169,6 +246,7 @@ class Histogram
     void deserialize(BinaryReader &in);
 
   private:
+    mutable std::mutex mu_; //!< guards every field below
     uint64_t count_ = 0;
     uint64_t min_ = UINT64_MAX;
     uint64_t max_ = 0;

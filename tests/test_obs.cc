@@ -14,6 +14,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/parallel.hh"
 #include "common/serialize.hh"
 #include "obs/phase.hh"
 #include "obs/report.hh"
@@ -314,4 +315,51 @@ TEST(RunReport, TextDumpMentionsEveryStat)
     reg.dumpText(os);
     EXPECT_NE(os.str().find("test_obs.text_ctr"), std::string::npos);
     EXPECT_NE(os.str().find("test_obs.text_hist"), std::string::npos);
+}
+
+TEST(Concurrency, StatsSurviveParallelMutation)
+{
+    // Counters must be exact and histograms structurally consistent
+    // when many pool tasks hammer the same stat objects; this is also
+    // the TSan workload for the obs layer.
+    auto &reg = obs::StatRegistry::instance();
+    auto &ctr = reg.counter("test_obs.par_ctr");
+    auto &gauge = reg.gauge("test_obs.par_gauge");
+    auto &hist = reg.histogram("test_obs.par_hist");
+    ctr.reset();
+    hist.reset();
+
+    psca::ThreadPool pool(4);
+    pool.parallelFor(4000, [&](size_t i) {
+        ctr.add();
+        gauge.set(static_cast<double>(i));
+        hist.add(i % 97);
+        obs::ScopedPhase phase("par_phase");
+    });
+
+    EXPECT_EQ(ctr.value(), 4000u);
+    EXPECT_EQ(hist.count(), 4000u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 96u);
+
+    // Dumping while another region mutates stats must stay coherent.
+    std::ostringstream os;
+    pool.parallelFor(2, [&](size_t i) {
+        if (i == 0) {
+            for (int r = 0; r < 50; ++r)
+                reg.writeJson(os, "concurrent_dump");
+        } else {
+            for (int r = 0; r < 5000; ++r) {
+                ctr.add();
+                hist.add(r % 13);
+                obs::ScopedPhase phase("par_phase2");
+            }
+        }
+    });
+    EXPECT_EQ(ctr.value(), 9000u);
+    EXPECT_NE(os.str().find("test_obs.par_ctr"), std::string::npos);
+
+    ctr.reset();
+    hist.reset();
+    obs::PhaseTracer::instance().reset();
 }
