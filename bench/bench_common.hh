@@ -15,6 +15,7 @@
 
 #include "core/pipeline.hh"
 #include "obs/report.hh"
+#include "obs/stats.hh"
 
 namespace psca {
 namespace bench {
@@ -40,13 +41,46 @@ class ReportGuard
 
     ~ReportGuard()
     {
-        // Members destruct after this body: the flush lands right
-        // before guard_ writes BENCH_<name>.json.
+        // Members destruct after this body: the gauges land in the
+        // registry and the flush lands right before guard_ writes
+        // BENCH_<name>.json.
+        setReplayThroughputGauges();
         std::fflush(stdout);
         std::fflush(stderr);
     }
 
   private:
+    /**
+     * Derive whole-run simulator throughput from the sim.* counters
+     * (replay wall time, instructions, cycles) so every BENCH_*.json
+     * reports replay speed in the same units the perf-smoke CI job
+     * checks. A fully cache-warm bench simulates nothing and honestly
+     * reports 0.
+     */
+    static void
+    setReplayThroughputGauges()
+    {
+        auto &reg = obs::StatRegistry::instance();
+        const obs::Counter *ns = reg.findCounter("sim.replay_ns");
+        const obs::Counter *instr =
+            reg.findCounter("sim.instructions_retired");
+        const obs::Counter *cycles = reg.findCounter("sim.cycles");
+        // count / (ns * 1e-9) / 1e6  ==  count * 1e3 / ns
+        const double per_ns_to_mega = ns != nullptr && ns->value() > 0
+            ? 1e3 / static_cast<double>(ns->value())
+            : 0.0;
+        reg.gauge("sim.replay_muops_per_s")
+            .set(instr != nullptr
+                     ? static_cast<double>(instr->value()) *
+                         per_ns_to_mega
+                     : 0.0);
+        reg.gauge("sim.replay_mcycles_per_s")
+            .set(cycles != nullptr
+                     ? static_cast<double>(cycles->value()) *
+                         per_ns_to_mega
+                     : 0.0);
+    }
+
     obs::RunReportGuard guard_;
 };
 

@@ -22,6 +22,7 @@
 #include "ml/tree.hh"
 #include "obs/stats.hh"
 #include "sim/core.hh"
+#include "trace/decoded.hh"
 #include "trace/generator.hh"
 #include "uc/compilers.hh"
 
@@ -211,6 +212,62 @@ BM_CoreSimulation(benchmark::State &state)
 BENCHMARK(BM_CoreSimulation)->Arg(0)->Arg(1);
 
 void
+BM_DecodedReplay(benchmark::State &state)
+{
+    // Pure replay of a pre-decoded SoA trace: no generation, no
+    // decode — the hot loop the dataset builder runs after its one
+    // decode pass (and what the perf-smoke job tracks).
+    constexpr size_t kUops = 1u << 21;
+    TraceGenerator gen(mixedWorkload());
+    const DecodedTrace trace = decodeTrace(gen, kUops);
+    ClusteredCore core;
+    core.reset();
+    core.setMode(CoreMode::HighPerf);
+    size_t base = 0;
+    for (auto _ : state) {
+        core.run(trace, base, 10000);
+        base += 10000;
+        if (base + 10000 > trace.size())
+            base = 0;
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DecodedReplay);
+
+void
+BM_CoreSimulationAosOracle(benchmark::State &state)
+{
+    // The retired AoS path, kept as a correctness oracle; benched so
+    // regressions in the SoA win show up as a shrinking gap.
+    ClusteredCore core;
+    core.reset();
+    core.setMode(CoreMode::HighPerf);
+    core.setReplayPath(ReplayPath::AosOracle);
+    TraceGenerator gen(mixedWorkload());
+    for (auto _ : state) {
+        core.run(gen, 10000);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoreSimulationAosOracle);
+
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    // One-time cost amortized across every replay of a trace.
+    TraceGenerator gen(mixedWorkload());
+    DecodedTrace trace;
+    trace.reserve(1u << 16);
+    for (auto _ : state) {
+        trace.clear();
+        gen.fillDecoded(trace, 1u << 16);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(state.iterations() * (1u << 16));
+}
+BENCHMARK(BM_TraceDecode);
+
+void
 BM_ForestTraining(benchmark::State &state)
 {
     const Dataset d =
@@ -316,6 +373,65 @@ recordCrossvalSpeedup()
                 parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
 }
 
+/**
+ * Wall-clock the SoA replay against the AoS oracle on the same
+ * 2M-uop trace (best of three passes each, to ride out machine
+ * noise) and record both as gauges, so BENCH_micro.json documents
+ * the data-layout win next to the whole-run sim.replay_* gauges the
+ * ReportGuard derives.
+ */
+void
+recordReplayThroughput()
+{
+    using clock = std::chrono::steady_clock;
+    constexpr uint64_t kInterval = 10000;
+    constexpr uint64_t kIntervals = (1u << 21) / kInterval;
+    constexpr uint64_t kUops = kIntervals * kInterval;
+    const Workload w = mixedWorkload();
+
+    TraceGenerator dec_gen(w);
+    const DecodedTrace trace = decodeTrace(dec_gen, kUops);
+
+    auto best_muops = [&](auto &&pass) {
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto start = clock::now();
+            pass();
+            const double s =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+            const double muops = s > 0.0 ? kUops / s / 1e6 : 0.0;
+            if (muops > best)
+                best = muops;
+        }
+        return best;
+    };
+
+    const double soa = best_muops([&] {
+        ClusteredCore core;
+        core.reset();
+        core.setMode(CoreMode::HighPerf);
+        for (uint64_t t = 0; t < kIntervals; ++t)
+            core.run(trace, t * kInterval, kInterval);
+    });
+    const double aos = best_muops([&] {
+        ClusteredCore core;
+        core.reset();
+        core.setMode(CoreMode::HighPerf);
+        core.setReplayPath(ReplayPath::AosOracle);
+        TraceGenerator gen(w);
+        for (uint64_t t = 0; t < kIntervals; ++t)
+            core.run(gen, kInterval);
+    });
+
+    auto &reg = obs::StatRegistry::instance();
+    reg.gauge("sim.replay_soa_muops_per_s").set(soa);
+    reg.gauge("sim.replay_aos_muops_per_s").set(aos);
+    std::printf("replay throughput: %.1f Muops/s SoA, %.1f Muops/s "
+                "AoS oracle (%.2fx)\n",
+                soa, aos, aos > 0.0 ? soa / aos : 0.0);
+}
+
 } // namespace
 
 int
@@ -328,6 +444,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    recordReplayThroughput();
     recordCrossvalSpeedup();
     return 0;
 }

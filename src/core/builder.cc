@@ -8,6 +8,9 @@
 #include "obs/phase.hh"
 #include "obs/stats.hh"
 #include "sim/core.hh"
+#include "sim/memo.hh"
+#include "trace/decoded.hh"
+#include "trace/generator.hh"
 
 namespace psca {
 
@@ -81,41 +84,68 @@ readRecord(BinaryReader &in)
     return r;
 }
 
-/** One fixed-mode recording pass over a trace. */
+/**
+ * One fixed-mode recording pass over a pre-decoded trace. The full
+ * per-interval counter deltas come from the simulation memo cache
+ * when available (a fixed-mode replay is a pure function of the
+ * memo key); either way the projection to the record's float
+ * columns runs below, so records are byte-identical whether the
+ * deltas were replayed or memoized.
+ */
 void
-recordMode(const Workload &workload, const BuildConfig &cfg,
-           CoreMode mode, std::vector<float> &deltas,
-           std::vector<float> &cycles, std::vector<float> &energy)
+recordMode(const DecodedTrace &trace, uint64_t trace_hash,
+           const BuildConfig &cfg, CoreMode mode,
+           std::vector<float> &deltas, std::vector<float> &cycles,
+           std::vector<float> &energy)
 {
-    ClusteredCore core(cfg.core);
-    core.reset();
-    core.setMode(mode);
-    PowerModel power(cfg.power, cfg.core.clockGhz);
-    TraceGenerator gen(workload);
-
-    if (cfg.warmupInstr > 0)
-        core.run(gen, cfg.warmupInstr);
-
+    const size_t n_intervals =
+        static_cast<size_t>((trace.size() - cfg.warmupInstr) /
+                            cfg.intervalInstr);
     const size_t n_ctr = cfg.counterIds.size();
-    std::vector<uint64_t> prev(core.counters().raw());
-    std::vector<uint64_t> delta_all(prev.size());
+    deltas.reserve(n_intervals * n_ctr);
+    cycles.reserve(n_intervals);
+    energy.reserve(n_intervals);
 
-    uint64_t remaining = workload.lengthInstr;
-    while (remaining >= cfg.intervalInstr) {
-        const IntervalStats stats = core.run(gen, cfg.intervalInstr);
-        remaining -= cfg.intervalInstr;
+    const MemoKey key{trace_hash, coreConfigHash(cfg.core), mode};
+    auto &memo = SimMemo::instance();
+    MemoIntervals intervals;
+    if (!memo.lookup(key, intervals) ||
+        intervals.size() != n_intervals)
+    {
+        intervals.clear();
+        intervals.reserve(n_intervals);
+        ClusteredCore core(cfg.core);
+        core.reset();
+        core.setMode(mode);
+        size_t cursor = 0;
+        if (cfg.warmupInstr > 0) {
+            core.run(trace, 0, cfg.warmupInstr);
+            cursor = static_cast<size_t>(cfg.warmupInstr);
+        }
+        std::vector<uint64_t> prev(core.counters().raw());
+        for (size_t t = 0; t < n_intervals; ++t) {
+            core.run(trace, cursor, cfg.intervalInstr);
+            cursor += static_cast<size_t>(cfg.intervalInstr);
+            const auto &now = core.counters().raw();
+            std::vector<uint64_t> delta_all(now.size());
+            for (size_t i = 0; i < now.size(); ++i)
+                delta_all[i] = now[i] - prev[i];
+            prev = now;
+            intervals.push_back(std::move(delta_all));
+        }
+        memo.store(key, intervals);
+    }
 
-        const auto &now = core.counters().raw();
-        for (size_t i = 0; i < now.size(); ++i)
-            delta_all[i] = now[i] - prev[i];
-        prev = now;
-
+    PowerModel power(cfg.power, cfg.core.clockGhz);
+    const uint16_t cycles_idx = CounterRegistry::index(Ctr::Cycles);
+    for (const auto &delta_all : intervals) {
         for (size_t i = 0; i < n_ctr; ++i)
             deltas.push_back(static_cast<float>(
                 delta_all[cfg.counterIds[i]]));
-        cycles.push_back(static_cast<float>(stats.cycles));
+        const uint64_t cyc = delta_all[cycles_idx];
+        cycles.push_back(static_cast<float>(cyc));
         energy.push_back(static_cast<float>(
-            power.intervalEnergyNj(delta_all, stats.cycles, mode)));
+            power.intervalEnergyNj(delta_all, cyc, mode)));
     }
 }
 
@@ -145,17 +175,29 @@ recordTrace(const Workload &workload, const BuildConfig &cfg,
     record.traceId = trace_id;
     record.numCounters = static_cast<uint16_t>(cfg.counterIds.size());
 
+    // Decode the workload's uop stream once; both fixed-mode passes
+    // replay the same read-only SoA trace. The memo key mixes the
+    // content hash with the warmup/interval split because those
+    // boundaries determine how the deltas are sliced.
+    const uint64_t n_intervals = workload.lengthInstr / cfg.intervalInstr;
+    TraceGenerator gen(workload);
+    const DecodedTrace trace = decodeTrace(
+        gen, cfg.warmupInstr + n_intervals * cfg.intervalInstr);
+    const uint64_t trace_hash = mixSeeds(
+        mixSeeds(trace.contentHash(), cfg.warmupInstr),
+        cfg.intervalInstr);
+
     // The two fixed-mode passes are independent simulations writing
     // disjoint vectors; run them as a two-task region. Inside a
     // recordCorpus fan-out this degenerates to the serial pair
     // (nested regions run inline).
     ThreadPool::instance().parallelFor(2, [&](size_t m) {
         if (m == 0)
-            recordMode(workload, cfg, CoreMode::HighPerf,
+            recordMode(trace, trace_hash, cfg, CoreMode::HighPerf,
                        record.deltaHigh, record.cyclesHigh,
                        record.energyHighNj);
         else
-            recordMode(workload, cfg, CoreMode::LowPower,
+            recordMode(trace, trace_hash, cfg, CoreMode::LowPower,
                        record.deltaLow, record.cyclesLow,
                        record.energyLowNj);
     });

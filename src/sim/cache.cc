@@ -31,7 +31,10 @@ CacheLevel::CacheLevel(const CacheConfig &cfg)
     : cfg_(cfg),
       numSets_(cfg.sizeBytes / (cfg.lineBytes * cfg.ways)),
       lineShift_(log2Floor(cfg.lineBytes)),
-      lines_(static_cast<size_t>(numSets_) * cfg.ways)
+      setShift_(log2Floor(numSets_ == 0 ? 1 : numSets_)),
+      tags_(static_cast<size_t>(numSets_) * cfg.ways, kInvalidTag),
+      lastUse_(static_cast<size_t>(numSets_) * cfg.ways, 0),
+      dirty_(static_cast<size_t>(numSets_) * cfg.ways, 0)
 {
     PSCA_ASSERT(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0,
                 "cache sets must be a power of two");
@@ -43,33 +46,42 @@ CacheLevel::access(uint64_t addr, bool is_write)
     const uint64_t line_addr = addr >> lineShift_;
     const uint32_t set = static_cast<uint32_t>(line_addr) &
         (numSets_ - 1);
-    const uint64_t tag = line_addr / numSets_;
-    Line *set_lines = &lines_[static_cast<size_t>(set) * cfg_.ways];
+    const uint64_t tag = line_addr >> setShift_;
+    const size_t base = static_cast<size_t>(set) * cfg_.ways;
+    uint64_t *tags = &tags_[base];
     ++useClock_;
 
     Result result;
-    Line *victim = &set_lines[0];
+    // Hit scan: tags only (invalid ways carry the sentinel, which
+    // can never match), recency/dirty touched for the hit way alone.
     for (uint32_t w = 0; w < cfg_.ways; ++w) {
-        Line &line = set_lines[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = useClock_;
-            line.dirty = line.dirty || is_write;
+        if (tags[w] == tag) {
+            lastUse_[base + w] = useClock_;
+            dirty_[base + w] |= is_write ? 1 : 0;
             result.hit = true;
             return result;
         }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
-            victim = &line;
+    }
+
+    // Miss path: replicate the classic combined scan's choice — the
+    // last invalid way if any exists, else the first way holding the
+    // minimum lastUse.
+    uint32_t victim = 0;
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (tags[w] == kInvalidTag) {
+            victim = w;
+        } else if (tags[victim] != kInvalidTag &&
+                   lastUse_[base + w] < lastUse_[base + victim]) {
+            victim = w;
         }
     }
 
-    result.evictedValid = victim->valid;
-    result.evictedDirty = victim->valid && victim->dirty;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = is_write;
-    victim->lastUse = useClock_;
+    result.evictedValid = tags[victim] != kInvalidTag;
+    result.evictedDirty = result.evictedValid &&
+        dirty_[base + victim] != 0;
+    tags[victim] = tag;
+    dirty_[base + victim] = is_write ? 1 : 0;
+    lastUse_[base + victim] = useClock_;
     return result;
 }
 
@@ -79,11 +91,11 @@ CacheLevel::contains(uint64_t addr) const
     const uint64_t line_addr = addr >> lineShift_;
     const uint32_t set = static_cast<uint32_t>(line_addr) &
         (numSets_ - 1);
-    const uint64_t tag = line_addr / numSets_;
-    const Line *set_lines = &lines_[static_cast<size_t>(set) *
-                                    cfg_.ways];
+    const uint64_t tag = line_addr >> setShift_;
+    const uint64_t *tags = &tags_[static_cast<size_t>(set) *
+                                  cfg_.ways];
     for (uint32_t w = 0; w < cfg_.ways; ++w)
-        if (set_lines[w].valid && set_lines[w].tag == tag)
+        if (tags[w] == tag)
             return true;
     return false;
 }
@@ -91,14 +103,17 @@ CacheLevel::contains(uint64_t addr) const
 void
 CacheLevel::reset()
 {
-    std::fill(lines_.begin(), lines_.end(), Line{});
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
     useClock_ = 0;
 }
 
 Tlb::Tlb(uint32_t entries, uint32_t page_bytes)
     : sets_(std::max<uint32_t>(1, entries / 4)), ways_(4),
       pageShift_(log2Floor(page_bytes)),
-      entries_(static_cast<size_t>(sets_) * ways_)
+      vpns_(static_cast<size_t>(sets_) * ways_, kInvalidVpn),
+      lastUse_(static_cast<size_t>(sets_) * ways_, 0)
 {}
 
 bool
@@ -106,36 +121,47 @@ Tlb::access(uint64_t addr)
 {
     const uint64_t vpn = addr >> pageShift_;
     const uint32_t set = static_cast<uint32_t>(vpn) & (sets_ - 1);
-    Entry *set_entries = &entries_[static_cast<size_t>(set) * ways_];
+    const size_t base = static_cast<size_t>(set) * ways_;
+    uint64_t *vpns = &vpns_[base];
     ++useClock_;
 
-    Entry *victim = &set_entries[0];
     for (uint32_t w = 0; w < ways_; ++w) {
-        Entry &e = set_entries[w];
-        if (e.valid && e.vpn == vpn) {
-            e.lastUse = useClock_;
+        if (vpns[w] == vpn) {
+            lastUse_[base + w] = useClock_;
             return true;
         }
-        if (!e.valid)
-            victim = &e;
-        else if (victim->valid && e.lastUse < victim->lastUse)
-            victim = &e;
     }
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->lastUse = useClock_;
+
+    uint32_t victim = 0;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (vpns[w] == kInvalidVpn) {
+            victim = w;
+        } else if (vpns[victim] != kInvalidVpn &&
+                   lastUse_[base + w] < lastUse_[base + victim]) {
+            victim = w;
+        }
+    }
+    vpns[victim] = vpn;
+    lastUse_[base + victim] = useClock_;
     return false;
 }
 
 void
 Tlb::reset()
 {
-    std::fill(entries_.begin(), entries_.end(), Entry{});
+    std::fill(vpns_.begin(), vpns_.end(), kInvalidVpn);
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
     useClock_ = 0;
 }
 
 MemoryHierarchy::MemoryHierarchy(const CoreConfig &cfg)
     : cfg_(cfg),
+      strideHistBase_(CounterRegistry::instance().familyBase(
+          CtrFamily::StrideHist)),
+      l1dMissRegionBase_(CounterRegistry::instance().familyBase(
+          CtrFamily::L1dMissRegion)),
+      l2MissRegionBase_(CounterRegistry::instance().familyBase(
+          CtrFamily::L2MissRegion)),
       uopCache_({cfg.uopCacheUops * 4, 8, 64, 1}),
       l1i_(cfg.l1i),
       l1d_(cfg.l1d),
@@ -165,8 +191,6 @@ uint64_t
 MemoryHierarchy::fillLine(uint64_t addr, uint64_t pc, uint64_t t0,
                           Counters &ctr)
 {
-    const auto &reg = CounterRegistry::instance();
-
     // L2 probe.
     const auto l2_res = l2_.access(addr, false);
     if (l2_res.hit) {
@@ -175,7 +199,7 @@ MemoryHierarchy::fillLine(uint64_t addr, uint64_t pc, uint64_t t0,
     }
     ctr.inc(Ctr::L2Miss);
     ctr.inc(static_cast<uint16_t>(
-        reg.familyBase(CtrFamily::L2MissRegion) + ((addr >> 24) & 63)));
+        l2MissRegionBase_ + ((addr >> 24) & 63)));
     if (l2_res.evictedValid) {
         ctr.inc(l2_res.evictedDirty ? Ctr::L2DirtyEvict
                                     : Ctr::L2SilentEvict);
@@ -214,8 +238,6 @@ uint64_t
 MemoryHierarchy::dataAccess(uint64_t addr, bool is_write, uint64_t pc,
                             uint64_t t0, MshrPool &mshrs, Counters &ctr)
 {
-    const auto &reg = CounterRegistry::instance();
-
     ctr.inc(is_write ? Ctr::L1dWrite : Ctr::L1dRead);
 
     // Train the stride prefetcher (all L1D traffic, reads and
@@ -225,8 +247,7 @@ MemoryHierarchy::dataAccess(uint64_t addr, bool is_write, uint64_t pc,
         const int64_t stride = static_cast<int64_t>(addr) -
             static_cast<int64_t>(se.lastAddr);
         ctr.inc(static_cast<uint16_t>(
-            reg.familyBase(CtrFamily::StrideHist) +
-            strideBucket(stride)));
+            strideHistBase_ + strideBucket(stride)));
         if (stride == se.stride && stride != 0) {
             if (se.confidence < 7)
                 ++se.confidence;
@@ -258,8 +279,7 @@ MemoryHierarchy::dataAccess(uint64_t addr, bool is_write, uint64_t pc,
     } else {
         ctr.inc(Ctr::L1dMiss);
         ctr.inc(static_cast<uint16_t>(
-            reg.familyBase(CtrFamily::L1dMissRegion) +
-            ((addr >> 24) & 63)));
+            l1dMissRegionBase_ + ((addr >> 24) & 63)));
         // L1D writebacks propagate into L2 state.
         if (l1_res.evictedDirty)
             l2_.access(addr ^ 0x40, true);

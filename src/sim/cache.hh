@@ -18,7 +18,17 @@
 
 namespace psca {
 
-/** One set-associative, true-LRU, write-back cache level. */
+/**
+ * One set-associative, true-LRU, write-back cache level.
+ *
+ * Hot-path layout (DESIGN.md §9): tags live in a packed flat array —
+ * one 64-byte line covers 8 ways — with validity encoded as a
+ * sentinel tag, so the hit scan is a branch-light sweep of one array
+ * and only touches recency/dirty state for the matched way. Victim
+ * selection runs as a second sweep on the miss path only, and the
+ * set/tag split uses shifts (the set count is asserted power-of-two),
+ * never division.
+ */
 class CacheLevel
 {
   public:
@@ -47,22 +57,27 @@ class CacheLevel
     uint32_t hitLatency() const { return cfg_.hitLatency; }
 
   private:
-    struct Line
-    {
-        uint64_t tag = 0;
-        uint32_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    /**
+     * Empty-way marker. Real tags are address bits above the line
+     * and set fields (>= 7 bits shifted away), so no reachable tag
+     * can collide with it.
+     */
+    static constexpr uint64_t kInvalidTag = ~0ULL;
 
     CacheConfig cfg_;
     uint32_t numSets_;
     uint32_t lineShift_;
-    std::vector<Line> lines_; //!< numSets x ways
+    uint32_t setShift_;           //!< log2(numSets_)
+    std::vector<uint64_t> tags_;  //!< numSets x ways, packed
+    std::vector<uint32_t> lastUse_;
+    std::vector<uint8_t> dirty_;
     uint32_t useClock_ = 0;
 };
 
-/** Small set-associative TLB over page numbers. */
+/**
+ * Small set-associative TLB over page numbers; same packed-tag,
+ * sentinel-validity layout as CacheLevel.
+ */
 class Tlb
 {
   public:
@@ -73,17 +88,13 @@ class Tlb
     void reset();
 
   private:
-    struct Entry
-    {
-        uint64_t vpn = 0;
-        uint32_t lastUse = 0;
-        bool valid = false;
-    };
+    static constexpr uint64_t kInvalidVpn = ~0ULL;
 
     uint32_t sets_;
     uint32_t ways_;
     uint32_t pageShift_;
-    std::vector<Entry> entries_;
+    std::vector<uint64_t> vpns_; //!< sets x ways, packed
+    std::vector<uint32_t> lastUse_;
     uint32_t useClock_ = 0;
 };
 
@@ -110,7 +121,10 @@ class MshrPool
     fill(uint64_t completion)
     {
         completions_[oldest_] = completion;
-        oldest_ = (oldest_ + 1) % completions_.size();
+        // Branch instead of modulo: the pool size is small and
+        // runtime-configured, so % compiles to a hardware divide.
+        if (++oldest_ == completions_.size())
+            oldest_ = 0;
     }
 
     /** Outstanding misses at cycle t (for occupancy telemetry). */
@@ -175,6 +189,11 @@ class MemoryHierarchy
                       Counters &ctr);
 
     const CoreConfig cfg_;
+    // Registry indices resolved once; familyBase() behind a
+    // singleton call is too slow for the per-access path.
+    uint16_t strideHistBase_;
+    uint16_t l1dMissRegionBase_;
+    uint16_t l2MissRegionBase_;
     CacheLevel uopCache_;
     CacheLevel l1i_;
     CacheLevel l1d_;

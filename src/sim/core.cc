@@ -1,7 +1,11 @@
 #include "sim/core.hh"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
 
+#include "obs/phase.hh"
 #include "obs/stats.hh"
 
 namespace psca {
@@ -18,6 +22,7 @@ struct SimObs
     obs::Counter &intervals;
     obs::Counter &instructions;
     obs::Counter &cycles;
+    obs::Counter &replayNs;
     obs::Counter &l1dHits;
     obs::Counter &l1dMisses;
     obs::Counter &l2Misses;
@@ -34,6 +39,7 @@ struct SimObs
             reg.counter("sim.intervals"),
             reg.counter("sim.instructions_retired"),
             reg.counter("sim.cycles"),
+            reg.counter("sim.replay_ns"),
             reg.counter("sim.l1d_hits"),
             reg.counter("sim.l1d_misses"),
             reg.counter("sim.l2_misses"),
@@ -53,16 +59,49 @@ residencyBucket(uint64_t v)
     // Buckets: 0,1,2,3,4-7,8-15,...; log-ish spacing.
     if (v < 4)
         return static_cast<uint16_t>(v);
-    uint16_t b = 4;
-    uint64_t top = 8;
-    while (v >= top && b < 15) {
-        ++b;
-        top <<= 1;
-    }
-    return b;
+    return static_cast<uint16_t>(
+        std::min(15, 65 - std::countl_zero(v)));
 }
 
 } // namespace
+
+void
+HotCtrs::flush(Counters &out)
+{
+    const auto &reg = CounterRegistry::instance();
+    for (size_t i = 0; i < kNumScalarCtrs; ++i)
+        if (scalar[i])
+            out.inc(static_cast<uint16_t>(i), scalar[i]);
+    for (int c = 0; c < kNumClusters; ++c)
+        for (size_t e = 0; e < kNumClusterCtrs; ++e)
+            if (cluster[c][e])
+                out.inc(reg.index(static_cast<ClusterCtr>(e), c),
+                        cluster[c][e]);
+
+    const auto family = [&](CtrFamily f, const uint64_t *vals,
+                            size_t n) {
+        const uint16_t base = reg.familyBase(f);
+        for (size_t i = 0; i < n; ++i)
+            if (vals[i])
+                out.inc(static_cast<uint16_t>(base + i), vals[i]);
+    };
+    family(CtrFamily::RobOccHist, robOccHist, 16);
+    family(CtrFamily::RsOccHistC0, rsOccHist[0], 16);
+    family(CtrFamily::RsOccHistC1, rsOccHist[1], 16);
+    family(CtrFamily::SqOccHist, sqOccHist, 16);
+    family(CtrFamily::LoadLatHist, loadLatHist, 16);
+    family(CtrFamily::FetchBundleHist, fetchBundleHist, 9);
+    family(CtrFamily::IssueBundleHistC0, issueBundleHist[0], 5);
+    family(CtrFamily::IssueBundleHistC1, issueBundleHist[1], 5);
+    family(CtrFamily::DepWaitHist, depWaitHist, 16);
+    family(CtrFamily::UopsPcRegion, uopsPcRegion, 64);
+    family(CtrFamily::BrMispredPcRegion, brMispredPcRegion, 64);
+    family(CtrFamily::OpcIssuedC0, opcIssued[0], kNumOpClasses);
+    family(CtrFamily::OpcIssuedC1, opcIssued[1], kNumOpClasses);
+    family(CtrFamily::OpcRetired, opcRetired, kNumOpClasses);
+
+    *this = HotCtrs{};
+}
 
 ClusteredCore::ClusteredCore(const CoreConfig &cfg)
     : cfg_(cfg),
@@ -83,6 +122,14 @@ ClusteredCore::ClusteredCore(const CoreConfig &cfg)
                                0);
     sqFreeTime_.assign(static_cast<size_t>(cfg.sqSize), 0);
     fwdTable_.assign(64, FwdEntry{});
+    // Staging buffers are sized once here so steady-state replay
+    // never reallocates.
+    fillBuffer_.reserve(2048);
+    decodeBuf_.reserve(4096);
+
+    const char *aos = std::getenv("PSCA_SIM_AOS");
+    if (aos != nullptr && aos[0] != '\0' && aos[0] != '0')
+        replayPath_ = ReplayPath::AosOracle;
 }
 
 void
@@ -90,6 +137,7 @@ ClusteredCore::reset()
 {
     mode_ = CoreMode::HighPerf;
     counters_.reset();
+    hot_ = HotCtrs{};
     mem_.reset();
     bpred_.reset();
     std::fill(std::begin(regReady_), std::end(regReady_), 0);
@@ -99,6 +147,7 @@ ClusteredCore::reset()
               ~0ULL - (1ULL << 32));
     std::fill(std::begin(regCluster_), std::end(regCluster_), 0);
     seq_ = 0;
+    robSlot_ = 0;
     std::fill(robRetire_.begin(), robRetire_.end(), 0);
     retireRing_.reset();
     lastRetireTime_ = 0;
@@ -110,17 +159,14 @@ ClusteredCore::reset()
         loadPorts_[c].reset();
         mshrs_[c].reset();
         std::fill(rsIssueTime_[c].begin(), rsIssueTime_[c].end(), 0);
-        clusterSeq_[c] = 0;
+        rsSlot_[c] = 0;
         busyIssueCycles_[c] = 0;
-        intervalBusyBase_[c] = 0;
     }
     steerBalance_ = 0;
     std::fill(sqFreeTime_.begin(), sqFreeTime_.end(), 0);
-    storeSeq_ = 0;
+    sqSlot_ = 0;
     std::fill(fwdTable_.begin(), fwdTable_.end(), FwdEntry{});
     minDispatchTime_ = 0;
-    lastDispatchTime_ = 0;
-    intervalStartCycle_ = 0;
     intervalIssued_ = 0;
 }
 
@@ -222,13 +268,9 @@ ClusteredCore::steer(const MicroOp &op)
 void
 ClusteredCore::processUop(const MicroOp &op)
 {
-    const auto &reg = CounterRegistry::instance();
-
     // ---- Fetch -------------------------------------------------------
     if (fetchedThisCycle_ >= cfg_.fetchWidth) {
-        counters_.inc(static_cast<uint16_t>(
-            reg.familyBase(CtrFamily::FetchBundleHist) +
-            std::min(fetchedThisCycle_, 8)));
+        ++hot_.fetchBundleHist[std::min(fetchedThisCycle_, 8)];
         ++fetchCycle_;
         fetchedThisCycle_ = 0;
     }
@@ -238,15 +280,14 @@ ClusteredCore::processUop(const MicroOp &op)
         if (miss_lat > 0) {
             fetchCycle_ += miss_lat;
             fetchedThisCycle_ = 0;
-            counters_.inc(Ctr::FetchStallCycles, miss_lat);
+            hot_.inc(Ctr::FetchStallCycles, miss_lat);
         }
         lastFetchLine_ = line;
     }
     const uint64_t fetch_time = fetchCycle_;
     ++fetchedThisCycle_;
-    counters_.inc(Ctr::DecodeUops);
-    counters_.inc(static_cast<uint16_t>(
-        reg.familyBase(CtrFamily::UopsPcRegion) + ((op.pc >> 12) & 63)));
+    hot_.inc(Ctr::DecodeUops);
+    ++hot_.uopsPcRegion[(op.pc >> 12) & 63];
 
     // ---- Dispatch ----------------------------------------------------
     const int cluster = steer(op);
@@ -254,28 +295,25 @@ ClusteredCore::processUop(const MicroOp &op)
         static_cast<uint64_t>(cfg_.frontendDepth);
     dispatch = std::max(dispatch, minDispatchTime_);
 
-    const uint64_t rob_free =
-        robRetire_[seq_ % robRetire_.size()];
+    const uint64_t rob_free = robRetire_[robSlot_];
     if (rob_free > dispatch) {
         dispatch = rob_free;
-        counters_.inc(Ctr::RobFullStalls);
+        hot_.inc(Ctr::RobFullStalls);
     }
-    const size_t rs_slot = clusterSeq_[cluster] %
-        rsIssueTime_[cluster].size();
+    const size_t rs_slot = rsSlot_[cluster];
     if (rsIssueTime_[cluster][rs_slot] > dispatch) {
         dispatch = rsIssueTime_[cluster][rs_slot];
-        counters_.inc(reg.index(ClusterCtr::RsFullStalls, cluster));
+        hot_.inc(ClusterCtr::RsFullStalls, cluster);
     }
     size_t sq_slot = 0;
     if (op.isStore()) {
-        sq_slot = storeSeq_ % sqFreeTime_.size();
+        sq_slot = sqSlot_;
         if (sqFreeTime_[sq_slot] > dispatch) {
             dispatch = sqFreeTime_[sq_slot];
-            counters_.inc(Ctr::SqFullStalls);
+            hot_.inc(Ctr::SqFullStalls);
         }
     }
-    counters_.inc(Ctr::UopsDispatched);
-    lastDispatchTime_ = std::max(lastDispatchTime_, dispatch);
+    hot_.inc(Ctr::UopsDispatched);
 
     // ---- Operand readiness --------------------------------------------
     uint64_t ready = dispatch + 1;
@@ -288,20 +326,18 @@ ClusteredCore::processUop(const MicroOp &op)
         if (mode_ == CoreMode::HighPerf &&
             regCluster_[src] != cluster) {
             t += static_cast<uint64_t>(cfg_.interClusterFwdDelay);
-            counters_.inc(Ctr::InterClusterFwd);
+            hot_.inc(Ctr::InterClusterFwd);
         }
         ready = std::max(ready, t);
     }
-    counters_.inc(Ctr::PhysRegRefs, static_cast<uint64_t>(num_srcs));
+    hot_.inc(Ctr::PhysRegRefs, static_cast<uint64_t>(num_srcs));
     if (ready <= dispatch + 1) {
-        counters_.inc(Ctr::UopsReady);
+        hot_.inc(Ctr::UopsReady);
     } else {
-        counters_.inc(Ctr::UopsStalledOnDep);
+        hot_.inc(Ctr::UopsStalledOnDep);
         const uint64_t wait = ready - (dispatch + 1);
-        counters_.inc(Ctr::DepWaitSum, wait);
-        counters_.inc(static_cast<uint16_t>(
-            reg.familyBase(CtrFamily::DepWaitHist) +
-            residencyBucket(wait)));
+        hot_.inc(Ctr::DepWaitSum, wait);
+        ++hot_.depWaitHist[residencyBucket(wait)];
     }
 
     // ---- Issue --------------------------------------------------------
@@ -312,31 +348,25 @@ ClusteredCore::processUop(const MicroOp &op)
     if (op.isLoad())
         issue = std::max(issue, loadPorts_[cluster].reserve(issue));
 
-    counters_.inc(Ctr::UopsIssuedTotal);
+    hot_.inc(Ctr::UopsIssuedTotal);
     ++intervalIssued_;
-    counters_.inc(reg.index(ClusterCtr::UopsIssued, cluster));
-    counters_.inc(static_cast<uint16_t>(
-        reg.familyBase(cluster == 0 ? CtrFamily::OpcIssuedC0
-                                    : CtrFamily::OpcIssuedC1) +
-        static_cast<uint16_t>(op.cls)));
+    hot_.inc(ClusterCtr::UopsIssued, cluster);
+    ++hot_.opcIssued[cluster][static_cast<size_t>(op.cls)];
     {
-        const CtrFamily fam = cluster == 0 ? CtrFamily::IssueBundleHistC0
-                                           : CtrFamily::IssueBundleHistC1;
         const uint8_t used = issueRing_[cluster].usageAt(issue);
-        counters_.inc(static_cast<uint16_t>(
-            reg.familyBase(fam) + std::min<uint8_t>(used, 4)));
+        ++hot_.issueBundleHist[cluster][std::min<uint8_t>(used, 4)];
     }
 
     // ---- Execute ------------------------------------------------------
     uint64_t completion;
     if (op.isLoad()) {
-        counters_.inc(reg.index(ClusterCtr::LoadsIssued, cluster));
+        hot_.inc(ClusterCtr::LoadsIssued, cluster);
         const FwdEntry &fwd = fwdTable_[(op.addr >> 3) & 63];
         if (fwd.addr == op.addr && fwd.readyTime + 256 > issue) {
             // Store-to-load forwarding from the store queue.
-            counters_.inc(Ctr::StoreForwards);
-            counters_.inc(Ctr::L1dRead);
-            counters_.inc(Ctr::L1dHit);
+            hot_.inc(Ctr::StoreForwards);
+            hot_.inc(Ctr::L1dRead);
+            hot_.inc(Ctr::L1dHit);
             completion = std::max(issue, fwd.readyTime) +
                 static_cast<uint64_t>(cfg_.storeForwardLatency);
         } else {
@@ -344,14 +374,12 @@ ClusteredCore::processUop(const MicroOp &op)
                                          mshrs_[cluster], counters_);
         }
         const uint64_t lat = completion - issue;
-        counters_.inc(Ctr::LoadLatSum, lat);
-        counters_.inc(static_cast<uint16_t>(
-            reg.familyBase(CtrFamily::LoadLatHist) +
-            residencyBucket(lat)));
-        counters_.inc(Ctr::MshrOccSum, static_cast<uint64_t>(
+        hot_.inc(Ctr::LoadLatSum, lat);
+        ++hot_.loadLatHist[residencyBucket(lat)];
+        hot_.inc(Ctr::MshrOccSum, static_cast<uint64_t>(
             mshrs_[cluster].occupancyAt(issue)));
     } else if (op.isStore()) {
-        counters_.inc(reg.index(ClusterCtr::StoresIssued, cluster));
+        hot_.inc(ClusterCtr::StoresIssued, cluster);
         completion = issue + static_cast<uint64_t>(cfg_.latStore);
         // The cache write happens post-retirement; model its state
         // effects now and free the SQ entry when it completes.
@@ -359,11 +387,10 @@ ClusteredCore::processUop(const MicroOp &op)
             op.addr, true, op.pc, completion, mshrs_[cluster],
             counters_);
         sqFreeTime_[sq_slot] = write_done + 1;
-        ++storeSeq_;
-        counters_.inc(Ctr::SqOccSum, write_done - dispatch);
-        counters_.inc(static_cast<uint16_t>(
-            reg.familyBase(CtrFamily::SqOccHist) +
-            residencyBucket(write_done - dispatch)));
+        if (++sqSlot_ == sqFreeTime_.size())
+            sqSlot_ = 0;
+        hot_.inc(Ctr::SqOccSum, write_done - dispatch);
+        ++hot_.sqOccHist[residencyBucket(write_done - dispatch)];
         FwdEntry &slot = fwdTable_[(op.addr >> 3) & 63];
         slot.addr = op.addr;
         slot.readyTime = completion;
@@ -371,8 +398,7 @@ ClusteredCore::processUop(const MicroOp &op)
         completion = issue +
             static_cast<uint64_t>(execLatency(op.cls));
     }
-    counters_.inc(reg.index(ClusterCtr::EuBusySum, cluster),
-                  completion - issue);
+    hot_.inc(ClusterCtr::EuBusySum, cluster, completion - issue);
 
     if (op.dst != kNoReg) {
         regReady_[op.dst] = completion;
@@ -382,16 +408,14 @@ ClusteredCore::processUop(const MicroOp &op)
 
     // ---- Branch resolution ---------------------------------------------
     if (op.isBranch()) {
-        counters_.inc(Ctr::BranchesRetired);
+        hot_.inc(Ctr::BranchesRetired);
         if (op.branchTaken)
-            counters_.inc(Ctr::BranchTakenRetired);
+            hot_.inc(Ctr::BranchTakenRetired);
         const bool correct =
             bpred_.predictAndUpdate(op.pc, op.branchTaken);
         if (!correct) {
-            counters_.inc(Ctr::BranchMispred);
-            counters_.inc(static_cast<uint16_t>(
-                reg.familyBase(CtrFamily::BrMispredPcRegion) +
-                ((op.pc >> 6) & 63)));
+            hot_.inc(Ctr::BranchMispred);
+            ++hot_.brMispredPcRegion[(op.pc >> 6) & 63];
             const uint64_t resolve = completion;
             const uint64_t redirect = resolve +
                 static_cast<uint64_t>(cfg_.mispredictPenalty);
@@ -400,9 +424,9 @@ ClusteredCore::processUop(const MicroOp &op)
                     static_cast<uint64_t>(robRetire_.size()),
                     (redirect - fetch_time) *
                         static_cast<uint64_t>(cfg_.fetchWidth) / 2);
-                counters_.inc(Ctr::WrongPathUopsFlushed, flushed);
-                counters_.inc(Ctr::FetchStallCycles,
-                              redirect - fetchCycle_);
+                hot_.inc(Ctr::WrongPathUopsFlushed, flushed);
+                hot_.inc(Ctr::FetchStallCycles,
+                         redirect - fetchCycle_);
                 fetchCycle_ = redirect;
                 fetchedThisCycle_ = 0;
             }
@@ -413,79 +437,100 @@ ClusteredCore::processUop(const MicroOp &op)
     uint64_t retire = std::max(completion + 1, lastRetireTime_);
     retire = retireRing_.reserve(retire);
     lastRetireTime_ = std::max(lastRetireTime_, retire);
-    robRetire_[seq_ % robRetire_.size()] = retire + 1;
+    robRetire_[robSlot_] = retire + 1;
+    if (++robSlot_ == robRetire_.size())
+        robSlot_ = 0;
     rsIssueTime_[cluster][rs_slot] = issue + 1;
-    ++clusterSeq_[cluster];
+    if (++rsSlot_[cluster] == rsIssueTime_[cluster].size())
+        rsSlot_[cluster] = 0;
     ++seq_;
 
-    counters_.inc(Ctr::InstRetired);
-    counters_.inc(Ctr::UopsRetired);
-    counters_.inc(static_cast<uint16_t>(
-        reg.familyBase(CtrFamily::OpcRetired) +
-        static_cast<uint16_t>(op.cls)));
+    hot_.inc(Ctr::InstRetired);
+    hot_.inc(Ctr::UopsRetired);
+    ++hot_.opcRetired[static_cast<size_t>(op.cls)];
     if (op.isLoad())
-        counters_.inc(Ctr::LoadsRetired);
+        hot_.inc(Ctr::LoadsRetired);
     if (op.isStore())
-        counters_.inc(Ctr::StoresRetired);
+        hot_.inc(Ctr::StoresRetired);
     if (op.isFp())
-        counters_.inc(Ctr::FpOpsRetired);
+        hot_.inc(Ctr::FpOpsRetired);
     else if (op.cls == OpClass::IntAlu || op.cls == OpClass::IntMul ||
              op.cls == OpClass::IntDiv)
-        counters_.inc(Ctr::IntOpsRetired);
+        hot_.inc(Ctr::IntOpsRetired);
 
     const uint64_t rob_res = retire - dispatch;
-    counters_.inc(Ctr::RobOccSum, rob_res);
-    counters_.inc(static_cast<uint16_t>(
-        reg.familyBase(CtrFamily::RobOccHist) +
-        residencyBucket(rob_res)));
+    hot_.inc(Ctr::RobOccSum, rob_res);
+    ++hot_.robOccHist[residencyBucket(rob_res)];
     const uint64_t rs_res = issue - dispatch;
-    counters_.inc(reg.index(ClusterCtr::RsOccSum, cluster), rs_res);
-    counters_.inc(static_cast<uint16_t>(
-        reg.familyBase(cluster == 0 ? CtrFamily::RsOccHistC0
-                                    : CtrFamily::RsOccHistC1) +
-        residencyBucket(rs_res)));
+    hot_.inc(ClusterCtr::RsOccSum, cluster, rs_res);
+    ++hot_.rsOccHist[cluster][residencyBucket(rs_res)];
+}
+
+void
+ClusteredCore::replayDecoded(const DecodedTrace &trace, size_t begin,
+                             size_t n)
+{
+    const uint64_t *pc = trace.pc();
+    const uint64_t *addr = trace.addr();
+    const uint8_t *cls = trace.cls();
+    const int8_t *dst = trace.dst();
+    const int8_t *src0 = trace.src0();
+    const int8_t *src1 = trace.src1();
+    const uint8_t *taken = trace.taken();
+
+    for (size_t i = begin; i < begin + n; ++i) {
+        MicroOp op;
+        op.pc = pc[i];
+        op.addr = addr[i];
+        op.cls = static_cast<OpClass>(cls[i]);
+        op.dst = dst[i];
+        op.src0 = src0[i];
+        op.src1 = src1[i];
+        op.branchTaken = taken[i] != 0;
+        processUop(op);
+    }
+}
+
+ClusteredCore::IntervalSnapshot
+ClusteredCore::beginInterval()
+{
+    // hot_ is always empty here (flushed at the end of the previous
+    // interval), so counters_ alone is the complete state.
+    IntervalSnapshot s;
+    s.startCycle = lastRetireTime_;
+    s.busy0 = busyIssueCycles_[0];
+    s.busy1 = busyIssueCycles_[1];
+    s.l1dHit = counters_.value(Ctr::L1dHit);
+    s.l1dMiss = counters_.value(Ctr::L1dMiss);
+    s.l2Miss = counters_.value(Ctr::L2Miss);
+    s.llcMiss = counters_.value(Ctr::LlcMiss);
+    s.branches = counters_.value(Ctr::BranchesRetired);
+    s.branchMiss = counters_.value(Ctr::BranchMispred);
+    intervalIssued_ = 0;
+    return s;
 }
 
 IntervalStats
-ClusteredCore::run(TraceGenerator &gen, uint64_t n)
+ClusteredCore::endInterval(const IntervalSnapshot &snap, uint64_t n,
+                           uint64_t elapsed_ns)
 {
-    const uint64_t start_cycle = lastRetireTime_;
-    const uint64_t busy0 = busyIssueCycles_[0];
-    const uint64_t busy1 = busyIssueCycles_[1];
-    intervalIssued_ = 0;
-
-    // Interval-start snapshot of the telemetry counters surfaced
-    // through the stat registry below.
-    const uint64_t l1d_hit0 = counters_.value(Ctr::L1dHit);
-    const uint64_t l1d_miss0 = counters_.value(Ctr::L1dMiss);
-    const uint64_t l2_miss0 = counters_.value(Ctr::L2Miss);
-    const uint64_t llc_miss0 = counters_.value(Ctr::LlcMiss);
-    const uint64_t br0 = counters_.value(Ctr::BranchesRetired);
-    const uint64_t br_miss0 = counters_.value(Ctr::BranchMispred);
-
-    uint64_t remaining = n;
-    while (remaining > 0) {
-        const size_t chunk =
-            static_cast<size_t>(std::min<uint64_t>(remaining, 2048));
-        fillBuffer_.clear();
-        gen.fill(fillBuffer_, chunk);
-        for (const MicroOp &op : fillBuffer_)
-            processUop(op);
-        remaining -= chunk;
-    }
-
     IntervalStats stats;
     stats.instructions = n;
-    stats.cycles = std::max<uint64_t>(1, lastRetireTime_ - start_cycle);
+    stats.cycles =
+        std::max<uint64_t>(1, lastRetireTime_ - snap.startCycle);
     stats.mode = mode_;
+
+    // The per-uop accumulator lands in the counter vector exactly
+    // once per interval, before anything below reads counters_.
+    hot_.flush(counters_);
 
     counters_.inc(Ctr::Cycles, stats.cycles);
     if (mode_ == CoreMode::LowPower)
         counters_.inc(Ctr::GatedCycles, stats.cycles);
 
     // Whole-interval derived counters.
-    const uint64_t busy = std::max(busyIssueCycles_[0] - busy0,
-                                   busyIssueCycles_[1] - busy1);
+    const uint64_t busy = std::max(busyIssueCycles_[0] - snap.busy0,
+                                   busyIssueCycles_[1] - snap.busy1);
     counters_.inc(Ctr::StallCount,
                   stats.cycles > busy ? stats.cycles - busy : 0);
     const int active_clusters = mode_ == CoreMode::HighPerf ? 2 : 1;
@@ -500,16 +545,59 @@ ClusteredCore::run(TraceGenerator &gen, uint64_t n)
     so.intervals.add();
     so.instructions.add(n);
     so.cycles.add(stats.cycles);
-    so.l1dHits.add(counters_.value(Ctr::L1dHit) - l1d_hit0);
-    so.l1dMisses.add(counters_.value(Ctr::L1dMiss) - l1d_miss0);
-    so.l2Misses.add(counters_.value(Ctr::L2Miss) - l2_miss0);
-    so.llcMisses.add(counters_.value(Ctr::LlcMiss) - llc_miss0);
-    const uint64_t br = counters_.value(Ctr::BranchesRetired) - br0;
+    so.replayNs.add(elapsed_ns);
+    so.l1dHits.add(counters_.value(Ctr::L1dHit) - snap.l1dHit);
+    so.l1dMisses.add(counters_.value(Ctr::L1dMiss) - snap.l1dMiss);
+    so.l2Misses.add(counters_.value(Ctr::L2Miss) - snap.l2Miss);
+    so.llcMisses.add(counters_.value(Ctr::LlcMiss) - snap.llcMiss);
+    const uint64_t br =
+        counters_.value(Ctr::BranchesRetired) - snap.branches;
     const uint64_t br_miss =
-        counters_.value(Ctr::BranchMispred) - br_miss0;
+        counters_.value(Ctr::BranchMispred) - snap.branchMiss;
     so.bpredMisses.add(br_miss);
     so.bpredHits.add(br > br_miss ? br - br_miss : 0);
     return stats;
+}
+
+IntervalStats
+ClusteredCore::run(TraceGenerator &gen, uint64_t n)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const IntervalSnapshot snap = beginInterval();
+
+    uint64_t remaining = n;
+    if (replayPath_ == ReplayPath::AosOracle) {
+        while (remaining > 0) {
+            const size_t chunk = static_cast<size_t>(
+                std::min<uint64_t>(remaining, 2048));
+            fillBuffer_.clear();
+            gen.fill(fillBuffer_, chunk);
+            for (const MicroOp &op : fillBuffer_)
+                processUop(op);
+            remaining -= chunk;
+        }
+    } else {
+        while (remaining > 0) {
+            const size_t chunk = static_cast<size_t>(
+                std::min<uint64_t>(remaining, 4096));
+            decodeBuf_.clear();
+            gen.fillDecoded(decodeBuf_, chunk);
+            replayDecoded(decodeBuf_, 0, chunk);
+            remaining -= chunk;
+        }
+    }
+    return endInterval(snap, n, obs::elapsedNs(t0));
+}
+
+IntervalStats
+ClusteredCore::run(const DecodedTrace &trace, size_t begin, uint64_t n)
+{
+    PSCA_ASSERT(begin + n <= trace.size(),
+                "decoded replay range out of bounds");
+    const auto t0 = std::chrono::steady_clock::now();
+    const IntervalSnapshot snap = beginInterval();
+    replayDecoded(trace, begin, static_cast<size_t>(n));
+    return endInterval(snap, n, obs::elapsedNs(t0));
 }
 
 } // namespace psca

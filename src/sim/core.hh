@@ -17,6 +17,15 @@
  * mode drains steering, transfers up to 32 live registers via
  * microcode on cluster 1, then clock-gates cluster 2 (tens of
  * cycles); ungating is a few cycles.
+ *
+ * Hot path (DESIGN.md §9): the replay loop consumes a pre-decoded
+ * structure-of-arrays trace (trace/decoded.hh), batches all per-uop
+ * telemetry into a plain-struct accumulator flushed once per
+ * interval, and addresses every circular structure with wrap
+ * counters instead of modulo. The original array-of-structs fill()
+ * path is kept as a correctness oracle behind ReplayPath::AosOracle
+ * (env PSCA_SIM_AOS=1); both paths share one processUop(), so they
+ * are bit-identical by construction.
  */
 
 #ifndef PSCA_SIM_CORE_HH
@@ -30,6 +39,7 @@
 #include "sim/cache.hh"
 #include "sim/config.hh"
 #include "telemetry/counters.hh"
+#include "trace/decoded.hh"
 #include "trace/generator.hh"
 
 namespace psca {
@@ -48,6 +58,54 @@ struct IntervalStats
                 static_cast<double>(cycles)
                       : 0.0;
     }
+};
+
+/** Which trace representation run(TraceGenerator&, n) replays. */
+enum class ReplayPath : uint8_t
+{
+    Soa,       //!< pre-decoded structure-of-arrays (default)
+    AosOracle, //!< original MicroOp fill() path (correctness oracle)
+};
+
+/**
+ * Interval-local telemetry accumulator. All counter updates the core
+ * itself performs are commutative integer adds, so batching them in
+ * plain fixed-size arrays and flushing once per interval yields
+ * byte-identical totals while keeping CounterRegistry lookups and
+ * the 936-entry counter vector off the per-uop path. (The memory
+ * hierarchy still writes Counters directly; its indices are cached
+ * at construction.)
+ */
+struct HotCtrs
+{
+    uint64_t scalar[kNumScalarCtrs] = {};
+    uint64_t cluster[kNumClusters][kNumClusterCtrs] = {};
+    uint64_t robOccHist[16] = {};
+    uint64_t rsOccHist[kNumClusters][16] = {};
+    uint64_t sqOccHist[16] = {};
+    uint64_t loadLatHist[16] = {};
+    uint64_t fetchBundleHist[9] = {};
+    uint64_t issueBundleHist[kNumClusters][5] = {};
+    uint64_t depWaitHist[16] = {};
+    uint64_t uopsPcRegion[64] = {};
+    uint64_t brMispredPcRegion[64] = {};
+    uint64_t opcIssued[kNumClusters][kNumOpClasses] = {};
+    uint64_t opcRetired[kNumOpClasses] = {};
+
+    void
+    inc(Ctr c, uint64_t n = 1)
+    {
+        scalar[static_cast<size_t>(c)] += n;
+    }
+
+    void
+    inc(ClusterCtr c, int cl, uint64_t n = 1)
+    {
+        cluster[cl][static_cast<size_t>(c)] += n;
+    }
+
+    /** Add every accumulated count into out, then zero self. */
+    void flush(Counters &out);
 };
 
 /** The two-cluster out-of-order core with cluster gating. */
@@ -73,6 +131,18 @@ class ClusteredCore
      */
     IntervalStats run(TraceGenerator &gen, uint64_t n);
 
+    /**
+     * Execute micro-ops [begin, begin + n) of a pre-decoded trace.
+     * Timing-equivalent to feeding the same stream through a
+     * generator; lets one decode feed several replays.
+     */
+    IntervalStats run(const DecodedTrace &trace, size_t begin,
+                      uint64_t n);
+
+    /** Select the replay representation (tests/benches). */
+    void setReplayPath(ReplayPath path) { replayPath_ = path; }
+    ReplayPath replayPath() const { return replayPath_; }
+
     /** Telemetry accumulated since reset(). */
     const Counters &counters() const { return counters_; }
     Counters &counters() { return counters_; }
@@ -83,13 +153,34 @@ class ClusteredCore
     const CoreConfig &config() const { return cfg_; }
 
   private:
+    /** Counter values snapshotted at interval start. */
+    struct IntervalSnapshot
+    {
+        uint64_t startCycle = 0;
+        uint64_t busy0 = 0;
+        uint64_t busy1 = 0;
+        uint64_t l1dHit = 0;
+        uint64_t l1dMiss = 0;
+        uint64_t l2Miss = 0;
+        uint64_t llcMiss = 0;
+        uint64_t branches = 0;
+        uint64_t branchMiss = 0;
+    };
+
+    IntervalSnapshot beginInterval();
+    IntervalStats endInterval(const IntervalSnapshot &snap, uint64_t n,
+                              uint64_t elapsed_ns);
+    void replayDecoded(const DecodedTrace &trace, size_t begin,
+                       size_t n);
     void processUop(const MicroOp &op);
     int steer(const MicroOp &op);
     int execLatency(OpClass cls) const;
 
     CoreConfig cfg_;
     CoreMode mode_ = CoreMode::HighPerf;
+    ReplayPath replayPath_ = ReplayPath::Soa;
     Counters counters_;
+    HotCtrs hot_;
     MemoryHierarchy mem_;
     GshareBpred bpred_;
 
@@ -98,8 +189,11 @@ class ClusteredCore
     uint64_t regLastWriter_[kNumArchRegs] = {}; //!< writer seq number
     uint8_t regCluster_[kNumArchRegs] = {};
 
-    // In-order structures.
+    // In-order structures. Circular indices are wrap counters (a
+    // branch, not %: the sizes are runtime-configured, so % would
+    // compile to a hardware divide on the per-uop path).
     uint64_t seq_ = 0;
+    size_t robSlot_ = 0;
     std::vector<uint64_t> robRetire_;
     BandwidthRing retireRing_;
     uint64_t lastRetireTime_ = 0;
@@ -114,13 +208,13 @@ class ClusteredCore
     BandwidthRing loadPorts_[kNumClusters];
     MshrPool mshrs_[kNumClusters];
     std::vector<uint64_t> rsIssueTime_[kNumClusters];
-    uint64_t clusterSeq_[kNumClusters] = {};
+    size_t rsSlot_[kNumClusters] = {};
     uint64_t busyIssueCycles_[kNumClusters] = {};
     int steerBalance_ = 0;
 
     // Store queue and forwarding.
     std::vector<uint64_t> sqFreeTime_;
-    uint64_t storeSeq_ = 0;
+    size_t sqSlot_ = 0;
     struct FwdEntry
     {
         uint64_t addr = ~0ULL;
@@ -131,15 +225,11 @@ class ClusteredCore
     // Gating transition barrier.
     uint64_t minDispatchTime_ = 0;
 
-    // Dispatch frontier (steering's notion of "now").
-    uint64_t lastDispatchTime_ = 0;
-
     // Interval bookkeeping.
-    uint64_t intervalStartCycle_ = 0;
-    uint64_t intervalBusyBase_[kNumClusters] = {};
     uint64_t intervalIssued_ = 0;
 
-    std::vector<MicroOp> fillBuffer_;
+    std::vector<MicroOp> fillBuffer_; //!< AoS-oracle staging
+    DecodedTrace decodeBuf_;          //!< SoA staging
 };
 
 } // namespace psca

@@ -1,0 +1,193 @@
+#include "sim/memo.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "common/rng.hh"
+#include "common/serialize.hh"
+#include "obs/stats.hh"
+#include "telemetry/counters.hh"
+
+namespace psca {
+
+namespace {
+
+/** Bump when the timing model or counter semantics change. */
+constexpr uint32_t kMemoVersion = 1;
+constexpr uint64_t kMemoMagic = 0x50534341534d454dULL; // "PSCASMEM"
+
+} // namespace
+
+uint64_t
+coreConfigHash(const CoreConfig &cfg)
+{
+    uint64_t h = 0xc0f1a5e5ULL ^ kMemoVersion;
+    auto mix = [&h](uint64_t v) { h = mixSeeds(h, v); };
+    auto mixCache = [&](const CacheConfig &c) {
+        mix(c.sizeBytes);
+        mix(c.ways);
+        mix(c.lineBytes);
+        mix(c.hitLatency);
+    };
+    mix(static_cast<uint64_t>(cfg.fetchWidth));
+    mix(static_cast<uint64_t>(cfg.frontendDepth));
+    mix(static_cast<uint64_t>(cfg.retireWidth));
+    mix(static_cast<uint64_t>(cfg.robSize));
+    mix(static_cast<uint64_t>(cfg.rsSizePerCluster));
+    mix(static_cast<uint64_t>(cfg.sqSize));
+    mix(static_cast<uint64_t>(cfg.issueWidthPerCluster));
+    mix(static_cast<uint64_t>(cfg.loadPortsPerCluster));
+    mix(static_cast<uint64_t>(cfg.mshrsPerCluster));
+    mix(static_cast<uint64_t>(cfg.interClusterFwdDelay));
+    mix(static_cast<uint64_t>(cfg.mispredictPenalty));
+    mix(static_cast<uint64_t>(cfg.gateMicrocodeUops));
+    mix(static_cast<uint64_t>(cfg.gateOverheadCycles));
+    mix(static_cast<uint64_t>(cfg.ungateOverheadCycles));
+    mix(static_cast<uint64_t>(cfg.latIntAlu));
+    mix(static_cast<uint64_t>(cfg.latIntMul));
+    mix(static_cast<uint64_t>(cfg.latIntDiv));
+    mix(static_cast<uint64_t>(cfg.latFpAdd));
+    mix(static_cast<uint64_t>(cfg.latFpMul));
+    mix(static_cast<uint64_t>(cfg.latFpDiv));
+    mix(static_cast<uint64_t>(cfg.latFpFma));
+    mix(static_cast<uint64_t>(cfg.latStore));
+    mix(static_cast<uint64_t>(cfg.latBranch));
+    mixCache(cfg.l1i);
+    mixCache(cfg.l1d);
+    mixCache(cfg.l2);
+    mixCache(cfg.llc);
+    mix(cfg.memLatency);
+    mix(cfg.dramSlotCycles);
+    mix(cfg.uopCacheUops);
+    mix(cfg.tlbEntries);
+    mix(cfg.tlbMissPenalty);
+    mix(cfg.pageBytes);
+    mix(static_cast<uint64_t>(cfg.storeForwardLatency));
+    mix(static_cast<uint64_t>(cfg.clockGhz * 1e6));
+    return h;
+}
+
+SimMemo &
+SimMemo::instance()
+{
+    static SimMemo memo;
+    return memo;
+}
+
+SimMemo::SimMemo()
+{
+    // Same cache root as the corpus cache (core/builder.cc); the env
+    // lookup is duplicated because sim/ sits below core/ in the
+    // dependency order.
+    const char *env = std::getenv("PSCA_CACHE_DIR");
+    dir_ = env ? env : "psca_cache";
+    const char *flag = std::getenv("PSCA_SIM_MEMO");
+    if (flag != nullptr && flag[0] == '0' && flag[1] == '\0')
+        enabled_ = false;
+}
+
+std::string
+SimMemo::pathFor(const MemoKey &key) const
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "/simmemo_%016llx_%016llx_%c.bin",
+                  static_cast<unsigned long long>(key.traceHash),
+                  static_cast<unsigned long long>(key.configHash),
+                  key.mode == CoreMode::HighPerf ? 'h' : 'l');
+    return dir_ + name;
+}
+
+bool
+SimMemo::lookup(const MemoKey &key, MemoIntervals &out) const
+{
+    if (!enabled_)
+        return false;
+    auto &reg = obs::StatRegistry::instance();
+
+    BinaryReader in(pathFor(key));
+    if (!in.good() || in.get<uint64_t>() != kMemoMagic ||
+        in.get<uint32_t>() != kMemoVersion ||
+        in.get<uint64_t>() != key.traceHash ||
+        in.get<uint64_t>() != key.configHash ||
+        in.get<uint8_t>() != static_cast<uint8_t>(key.mode))
+    {
+        reg.counter("memo.misses").add();
+        return false;
+    }
+
+    const uint64_t n_intervals = in.get<uint64_t>();
+    MemoIntervals intervals;
+    intervals.reserve(n_intervals);
+    for (uint64_t i = 0; i < n_intervals && in.good(); ++i) {
+        std::vector<uint64_t> deltas(kNumTelemetryCounters, 0);
+        const uint32_t nnz = in.get<uint32_t>();
+        for (uint32_t j = 0; j < nnz; ++j) {
+            const uint16_t idx = in.get<uint16_t>();
+            const uint64_t val = in.get<uint64_t>();
+            if (idx >= kNumTelemetryCounters) {
+                reg.counter("memo.misses").add();
+                return false;
+            }
+            deltas[idx] = val;
+        }
+        intervals.push_back(std::move(deltas));
+    }
+    if (!in.good() || intervals.size() != n_intervals) {
+        reg.counter("memo.misses").add();
+        return false;
+    }
+    out = std::move(intervals);
+    reg.counter("memo.hits").add();
+    return true;
+}
+
+void
+SimMemo::store(const MemoKey &key, const MemoIntervals &intervals) const
+{
+    if (!enabled_)
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+
+    // Unique temp name per writer thread, then an atomic rename:
+    // concurrent stores of the same key are rare (identical content
+    // anyway) and readers only ever see complete files.
+    const std::string path = pathFor(key);
+    const std::string tmp = path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+            std::this_thread::get_id()) & 0xffffff);
+    {
+        BinaryWriter out(tmp);
+        out.put(kMemoMagic);
+        out.put(kMemoVersion);
+        out.put(key.traceHash);
+        out.put(key.configHash);
+        out.put(static_cast<uint8_t>(key.mode));
+        out.put<uint64_t>(intervals.size());
+        for (const auto &deltas : intervals) {
+            uint32_t nnz = 0;
+            for (uint64_t v : deltas)
+                nnz += v != 0 ? 1 : 0;
+            out.put(nnz);
+            for (size_t idx = 0; idx < deltas.size(); ++idx) {
+                if (deltas[idx] != 0) {
+                    out.put(static_cast<uint16_t>(idx));
+                    out.put(deltas[idx]);
+                }
+            }
+        }
+        if (!out.good()) {
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+    obs::StatRegistry::instance().counter("memo.stores").add();
+}
+
+} // namespace psca

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Content-hashed simulation memo cache. A fixed-mode replay of a
+ * decoded trace is a pure function of (trace content, core
+ * configuration, mode): the same stream replayed on the same machine
+ * state produces the same per-interval telemetry deltas, bit for
+ * bit. The memo cache stores those deltas on disk keyed by that
+ * triple, so dataset builds, cross-validation fan-outs, and benches
+ * that re-simulate identical traces skip straight to the telemetry.
+ *
+ * Invalidation (DESIGN.md §9): the trace key is
+ * DecodedTrace::contentHash() mixed with the warmup/interval split,
+ * so any change to the generator stream or interval boundaries
+ * misses; the config key hashes every CoreConfig field, so any
+ * timing-model parameter change misses; kMemoVersion is bumped when
+ * the *meaning* of a counter or the timing model itself changes.
+ * Entries are one file per key, written atomically (temp + rename),
+ * safe under concurrent writers at any PSCA_THREADS.
+ *
+ * PSCA_SIM_MEMO=0 disables the cache; PSCA_CACHE_DIR relocates it
+ * (same knob the corpus cache uses).
+ */
+
+#ifndef PSCA_SIM_MEMO_HH
+#define PSCA_SIM_MEMO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace psca {
+
+/** Identity of one fixed-mode simulation of one decoded trace. */
+struct MemoKey
+{
+    uint64_t traceHash = 0;  //!< decoded stream + interval split
+    uint64_t configHash = 0; //!< coreConfigHash() of the CoreConfig
+    CoreMode mode = CoreMode::HighPerf;
+};
+
+/**
+ * Stable hash over every CoreConfig field. Exhaustive by hand: a
+ * field added to CoreConfig must be added here, or stale memo
+ * entries would survive a timing-relevant config change.
+ */
+uint64_t coreConfigHash(const CoreConfig &cfg);
+
+/**
+ * The per-interval result of a fixed-mode simulation: one full
+ * telemetry-counter delta vector (kNumTelemetryCounters wide) per
+ * interval. Cycles are recoverable as the Ctr::Cycles delta.
+ */
+using MemoIntervals = std::vector<std::vector<uint64_t>>;
+
+/** Process-wide memo cache over PSCA_CACHE_DIR. */
+class SimMemo
+{
+  public:
+    static SimMemo &instance();
+
+    /** False when PSCA_SIM_MEMO=0 disabled the cache. */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Fetch the memoized intervals for key.
+     * @return true on a hit (out is replaced), false on miss or when
+     *         the cache is disabled.
+     */
+    bool lookup(const MemoKey &key, MemoIntervals &out) const;
+
+    /** Persist intervals under key (atomic; no-op when disabled). */
+    void store(const MemoKey &key, const MemoIntervals &intervals) const;
+
+    /** On-disk location for a key (tests). */
+    std::string pathFor(const MemoKey &key) const;
+
+  private:
+    SimMemo();
+
+    std::string dir_;
+    bool enabled_ = true;
+};
+
+} // namespace psca
+
+#endif // PSCA_SIM_MEMO_HH

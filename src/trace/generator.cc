@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "trace/decoded.hh"
 
 namespace psca {
 
@@ -74,8 +75,11 @@ TraceGenerator::reset()
 void
 TraceGenerator::enterNextPhase()
 {
-    std::vector<double> weights;
-    weights.reserve(phases_.size());
+    // Reused member buffer: phase entry is on the trace hot path and
+    // must not allocate once the buffer reaches phases_.size().
+    weights_.clear();
+    weights_.reserve(phases_.size());
+    std::vector<double> &weights = weights_;
     for (const auto &phase : phases_)
         weights.push_back(phase.weight);
     // Independent weighted draws: a self-transition just extends the
@@ -116,6 +120,30 @@ TraceGenerator::fill(std::vector<MicroOp> &out, size_t n)
                        static_cast<ptrdiff_t>(buffer_pos_),
                    buffer_.begin() +
                        static_cast<ptrdiff_t>(buffer_pos_ + take));
+        buffer_pos_ += take;
+        remaining -= take;
+        produced_ += take;
+    }
+}
+
+void
+TraceGenerator::fillDecoded(DecodedTrace &out, size_t n)
+{
+    size_t remaining = n;
+    while (remaining > 0) {
+        if (buffer_pos_ >= buffer_.size()) {
+            buffer_.clear();
+            buffer_pos_ = 0;
+            if (phase_remaining_ == 0)
+                enterNextPhase();
+            const size_t chunk = static_cast<size_t>(
+                std::min<uint64_t>(phase_remaining_, 4096));
+            kernels_[current_phase_]->emit(buffer_, chunk, rng_);
+            phase_remaining_ -= chunk;
+        }
+        const size_t take =
+            std::min(remaining, buffer_.size() - buffer_pos_);
+        out.append(buffer_.data() + buffer_pos_, take);
         buffer_pos_ += take;
         remaining -= take;
         produced_ += take;

@@ -20,6 +20,8 @@
 
 namespace psca {
 
+class DecodedTrace;
+
 /**
  * One recorded trace: an application genome executed on one input,
  * starting from one recording offset (the SimPoint analogue).
@@ -46,6 +48,13 @@ class TraceGenerator
     /** Append exactly n micro-ops to out. */
     void fill(std::vector<MicroOp> &out, size_t n);
 
+    /**
+     * Append exactly n micro-ops to a pre-decoded SoA trace,
+     * bypassing the AoS copy. Produces the identical stream fill()
+     * would (the internal buffering is caller-invisible).
+     */
+    void fillDecoded(DecodedTrace &out, size_t n);
+
     /** Restart the identical stream from the beginning. */
     void reset();
 
@@ -70,6 +79,7 @@ class TraceGenerator
     uint64_t produced_ = 0;
     std::vector<MicroOp> buffer_;
     size_t buffer_pos_ = 0;
+    std::vector<double> weights_; //!< enterNextPhase scratch
 };
 
 } // namespace psca

@@ -8,6 +8,7 @@
 #ifndef PSCA_TRACE_UOP_HH
 #define PSCA_TRACE_UOP_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace psca {

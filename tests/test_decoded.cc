@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the pre-decoded SoA trace representation and the
+ * simulator hot path built on it: decode fidelity against the AoS
+ * stream, content-hash stability, bit-identity of the SoA replay
+ * against the retired AoS oracle (cycles, every telemetry counter,
+ * and gating labels across the genome corpus), and the
+ * steady-state allocation budget of the replay loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "sim/core.hh"
+#include "trace/decoded.hh"
+#include "trace/generator.hh"
+#include "trace/genome.hh"
+
+// ---------------------------------------------------------------------
+// Counting global allocator: every operator new in the binary bumps
+// the counter while auditing is armed. malloc-backed so behaviour is
+// otherwise unchanged.
+namespace {
+
+std::atomic<bool> g_audit{false};
+std::atomic<uint64_t> g_allocs{0};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_audit.load(std::memory_order_relaxed))
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+using namespace psca;
+
+namespace {
+
+Workload
+categoryWorkload(AppCategory cat, uint64_t seed, uint64_t len)
+{
+    Workload w;
+    w.genome = sampleGenome(cat, seed);
+    w.inputSeed = 1;
+    w.lengthInstr = len;
+    w.name = w.genome.name;
+    return w;
+}
+
+/** Fields of one op, comparable across representations. */
+void
+expectOpEq(const MicroOp &a, const MicroOp &b, size_t i)
+{
+    EXPECT_EQ(a.pc, b.pc) << "op " << i;
+    EXPECT_EQ(a.addr, b.addr) << "op " << i;
+    EXPECT_EQ(a.cls, b.cls) << "op " << i;
+    EXPECT_EQ(a.dst, b.dst) << "op " << i;
+    EXPECT_EQ(a.src0, b.src0) << "op " << i;
+    EXPECT_EQ(a.src1, b.src1) << "op " << i;
+    EXPECT_EQ(a.branchTaken, b.branchTaken) << "op " << i;
+}
+
+} // namespace
+
+TEST(DecodedTrace, FillDecodedMatchesFill)
+{
+    const Workload w =
+        categoryWorkload(AppCategory::Multimedia, 5, 1 << 20);
+    TraceGenerator aos_gen(w);
+    TraceGenerator soa_gen(w);
+
+    constexpr size_t kOps = 50000;
+    std::vector<MicroOp> aos;
+    aos_gen.fill(aos, kOps);
+
+    // Deliberately odd chunk size: stream content must not depend on
+    // how the decode is chunked.
+    DecodedTrace trace;
+    while (trace.size() < kOps)
+        soa_gen.fillDecoded(trace, 999);
+
+    ASSERT_GE(trace.size(), kOps);
+    for (size_t i = 0; i < kOps; ++i)
+        expectOpEq(trace.opAt(i), aos[i], i);
+}
+
+TEST(DecodedTrace, BatchAppendMatchesSingle)
+{
+    const Workload w =
+        categoryWorkload(AppCategory::GamesRendering, 9, 1 << 20);
+    TraceGenerator gen(w);
+    std::vector<MicroOp> ops;
+    gen.fill(ops, 4096);
+
+    DecodedTrace batch;
+    batch.append(ops.data(), ops.size());
+    DecodedTrace single;
+    for (const MicroOp &op : ops)
+        single.append(op);
+
+    ASSERT_EQ(batch.size(), single.size());
+    EXPECT_EQ(batch.contentHash(), single.contentHash());
+    for (size_t i = 0; i < ops.size(); ++i)
+        expectOpEq(batch.opAt(i), single.opAt(i), i);
+}
+
+TEST(DecodedTrace, ContentHashStableAndDiscriminating)
+{
+    const Workload w =
+        categoryWorkload(AppCategory::AiAnalytics, 3, 1 << 20);
+
+    TraceGenerator g1(w);
+    TraceGenerator g2(w);
+    const DecodedTrace a = decodeTrace(g1, 30000);
+    DecodedTrace b;
+    while (b.size() < 30000)
+        g2.fillDecoded(b,
+                       std::min<uint64_t>(777, 30000 - b.size()));
+    ASSERT_EQ(b.size(), 30000u);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+
+    Workload other = w;
+    other.inputSeed = 2;
+    TraceGenerator g3(other);
+    const DecodedTrace c = decodeTrace(g3, 30000);
+    EXPECT_NE(a.contentHash(), c.contentHash());
+
+    // Length matters too.
+    TraceGenerator g4(w);
+    const DecodedTrace d = decodeTrace(g4, 29999);
+    EXPECT_NE(a.contentHash(), d.contentHash());
+}
+
+// ---------------------------------------------------------------------
+// SoA replay vs AoS oracle: the refactor's contract is bit-identity.
+
+class SoaVsAos : public ::testing::TestWithParam<AppCategory>
+{};
+
+TEST_P(SoaVsAos, CountersBitIdenticalBothModes)
+{
+    const Workload w = categoryWorkload(GetParam(), 17, 1 << 22);
+    for (CoreMode mode : {CoreMode::HighPerf, CoreMode::LowPower}) {
+        ClusteredCore soa;
+        soa.reset();
+        soa.setMode(mode);
+        ASSERT_EQ(soa.replayPath(), ReplayPath::Soa);
+        TraceGenerator soa_gen(w);
+
+        ClusteredCore aos;
+        aos.reset();
+        aos.setMode(mode);
+        aos.setReplayPath(ReplayPath::AosOracle);
+        TraceGenerator aos_gen(w);
+
+        for (int t = 0; t < 6; ++t) {
+            soa.run(soa_gen, 10000);
+            aos.run(aos_gen, 10000);
+        }
+        EXPECT_EQ(soa.currentCycle(), aos.currentCycle());
+        EXPECT_EQ(soa.counters().raw(), aos.counters().raw());
+    }
+}
+
+TEST_P(SoaVsAos, GatingLabelsIdentical)
+{
+    // The ground-truth labels everything downstream trains on:
+    // per-interval IPC_low/IPC_high >= pSLA, computed once per path.
+    const Workload w = categoryWorkload(GetParam(), 23, 1 << 22);
+    constexpr int kIntervals = 8;
+    constexpr double kPsla = 0.90;
+
+    auto labels = [&](ReplayPath path) {
+        std::vector<uint64_t> cycles_high, cycles_low;
+        for (CoreMode mode :
+             {CoreMode::HighPerf, CoreMode::LowPower}) {
+            ClusteredCore core;
+            core.reset();
+            core.setMode(mode);
+            core.setReplayPath(path);
+            TraceGenerator gen(w);
+            core.run(gen, 20000); // warm
+            for (int t = 0; t < kIntervals; ++t) {
+                const IntervalStats s = core.run(gen, 10000);
+                (mode == CoreMode::HighPerf ? cycles_high
+                                            : cycles_low)
+                    .push_back(s.cycles);
+            }
+        }
+        std::vector<uint8_t> y(kIntervals);
+        for (int t = 0; t < kIntervals; ++t)
+            y[t] = static_cast<double>(cycles_high[t]) /
+                        static_cast<double>(cycles_low[t]) >=
+                    kPsla
+                ? 1
+                : 0;
+        return y;
+    };
+
+    EXPECT_EQ(labels(ReplayPath::Soa), labels(ReplayPath::AosOracle));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GenomeCorpus, SoaVsAos,
+    ::testing::Values(AppCategory::HpcPerf, AppCategory::CloudSecurity,
+                      AppCategory::AiAnalytics,
+                      AppCategory::WebProductivity,
+                      AppCategory::Multimedia,
+                      AppCategory::GamesRendering));
+
+TEST(DecodedTrace, PreDecodedReplayMatchesGenDriven)
+{
+    // The builder's pure-replay overload must retire the same stream
+    // the incremental gen-driven path does.
+    const Workload w =
+        categoryWorkload(AppCategory::AiAnalytics, 29, 1 << 22);
+    constexpr uint64_t kTotal = 80000;
+
+    ClusteredCore inc;
+    inc.reset();
+    TraceGenerator inc_gen(w);
+    for (uint64_t done = 0; done < kTotal; done += 10000)
+        inc.run(inc_gen, 10000);
+
+    TraceGenerator dec_gen(w);
+    const DecodedTrace trace = decodeTrace(dec_gen, kTotal);
+    ClusteredCore rep;
+    rep.reset();
+    for (uint64_t base = 0; base < kTotal; base += 10000)
+        rep.run(trace, base, 10000);
+
+    EXPECT_EQ(inc.currentCycle(), rep.currentCycle());
+    EXPECT_EQ(inc.counters().raw(), rep.counters().raw());
+}
+
+TEST(DecodedTrace, SteadyStateReplayAllocationBudget)
+{
+    // The reserve() audit: after warmup, neither the gen-driven SoA
+    // path nor the pre-decoded replay may allocate per interval
+    // (single-phase kernel, so the generator reaches steady state).
+    AppGenome g;
+    g.name = "alloc_audit";
+    g.seed = 7;
+    PhaseSpec p;
+    p.kernel = {.kind = KernelKind::Stream,
+                .workingSetBytes = 1 << 20, .computePerElem = 2};
+    p.meanLenInstr = 1e9;
+    g.phases = {p};
+    Workload w;
+    w.genome = g;
+    w.inputSeed = 1;
+    w.lengthInstr = 1 << 22;
+    w.name = "alloc_audit";
+
+    ClusteredCore core;
+    core.reset();
+    TraceGenerator gen(w);
+    for (int t = 0; t < 3; ++t)
+        core.run(gen, 10000); // warm: buffers reach final capacity
+
+    g_allocs.store(0);
+    g_audit.store(true);
+    for (int t = 0; t < 10; ++t)
+        core.run(gen, 10000);
+    g_audit.store(false);
+    EXPECT_LE(g_allocs.load(), 16u)
+        << "gen-driven replay allocates in steady state";
+
+    TraceGenerator dec_gen(w);
+    const DecodedTrace trace = decodeTrace(dec_gen, 120000);
+    core.run(trace, 0, 10000); // warm
+
+    g_allocs.store(0);
+    g_audit.store(true);
+    for (uint64_t base = 10000; base + 10000 <= trace.size();
+         base += 10000)
+        core.run(trace, base, 10000);
+    g_audit.store(false);
+    EXPECT_EQ(g_allocs.load(), 0u)
+        << "pre-decoded replay allocates in steady state";
+}

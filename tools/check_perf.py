@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run report against a recorded perf baseline.
+
+Usage: check_perf.py <report.json> <baseline.json> [--threshold 0.20]
+
+For every gauge named in the baseline's "gauges" object, warn (GitHub
+workflow-command format, so the annotation surfaces on the PR) when
+the measured value falls more than the threshold below the recorded
+value. Exits 1 when any gauge regressed — pair with continue-on-error
+in CI to keep the job advisory: shared runners are noisy, so a single
+warn is a nudge to re-run, not a verdict.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="tolerated fractional drop (default 0.20)")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        measured = json.load(f).get("gauges", {})
+    with open(args.baseline) as f:
+        baseline = json.load(f)["gauges"]
+
+    regressed = 0
+    for name, recorded in sorted(baseline.items()):
+        got = measured.get(name)
+        if got is None:
+            print(f"::warning::perf gauge {name} missing from "
+                  f"{args.report}")
+            regressed += 1
+            continue
+        floor = recorded * (1.0 - args.threshold)
+        verdict = "ok"
+        if got < floor:
+            verdict = "REGRESSED"
+            print(f"::warning::perf regression: {name} = {got:.2f}, "
+                  f"recorded {recorded:.2f} "
+                  f"(floor {floor:.2f} at -{args.threshold:.0%})")
+            regressed += 1
+        print(f"  {name}: measured {got:.2f} vs recorded "
+              f"{recorded:.2f} [{verdict}]")
+
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
