@@ -22,6 +22,11 @@ parseLogLevel(const char *env)
         std::strcmp(env, "silent") == 0 ||
         std::strcmp(env, "3") == 0)
         return LogLevel::Quiet;
+    // Complain via emitLine directly: warn() would recurse into
+    // logLevel() while its static initializer is still running.
+    detail::emitLine("warn",
+                     "ignoring PSCA_LOG_LEVEL='" + std::string(env) +
+                         "': expected debug|info|warn|quiet or 0-3");
     return LogLevel::Info;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace psca {
@@ -60,13 +61,9 @@ struct ThreadPool::Job
 int
 parallelThreadCount()
 {
-    const char *env = std::getenv("PSCA_THREADS");
-    if (env && *env) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed >= 1)
-            return static_cast<int>(parsed);
-        warn("ignoring invalid PSCA_THREADS='", env, "'");
-    }
+    long long threads = 0;
+    if (env::intIfSet("PSCA_THREADS", threads, 1, 4096))
+        return static_cast<int>(threads);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
 }

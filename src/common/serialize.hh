@@ -3,12 +3,22 @@
  * Minimal binary (de)serialization helpers used by the dataset cache
  * and model save/load. Little-endian host assumed (x86); files carry a
  * magic word and version so stale caches are rejected, not misread.
+ *
+ * Integrity model: every byte written through BinaryWriter feeds a
+ * running FNV-1a 64 checksum; putChecksumTrailer() appends it as the
+ * final word and verifyChecksumTrailer() recomputes and compares on
+ * load. A failed header or checksum names the file and the reason,
+ * and loaders quarantine the file (rename to <path>.quarantined) and
+ * rebuild instead of deserializing noise. Readers bound every
+ * length-prefixed allocation by the actual file size, so a corrupted
+ * prefix cannot trigger a multi-gigabyte allocation.
  */
 
 #ifndef PSCA_COMMON_SERIALIZE_HH
 #define PSCA_COMMON_SERIALIZE_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -16,6 +26,20 @@
 #include "logging.hh"
 
 namespace psca {
+
+/** Incremental FNV-1a 64 over a byte range. */
+inline uint64_t
+fnv1aUpdate(uint64_t h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+constexpr uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
 
 /** Streaming binary writer over a file. */
 class BinaryWriter
@@ -34,7 +58,7 @@ class BinaryWriter
     put(const T &value)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        out_.write(reinterpret_cast<const char *>(&value), sizeof(T));
+        putRaw(&value, sizeof(T));
     }
 
     /** Write a length-prefixed vector of trivially-copyable values. */
@@ -44,8 +68,7 @@ class BinaryWriter
     {
         static_assert(std::is_trivially_copyable_v<T>);
         put<uint64_t>(v.size());
-        out_.write(reinterpret_cast<const char *>(v.data()),
-                   static_cast<std::streamsize>(v.size() * sizeof(T)));
+        putRaw(v.data(), v.size() * sizeof(T));
     }
 
     /** Write a length-prefixed string. */
@@ -53,14 +76,47 @@ class BinaryWriter
     putString(const std::string &s)
     {
         put<uint64_t>(s.size());
-        out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+        putRaw(s.data(), s.size());
     }
 
-    /** True while no write error has occurred. */
-    bool good() const { return static_cast<bool>(out_); }
+    /**
+     * Append the running checksum over everything written so far as
+     * the file's final word. Must be the last write.
+     */
+    void
+    putChecksumTrailer()
+    {
+        const uint64_t sum = checksum_;
+        out_.write(reinterpret_cast<const char *>(&sum), sizeof(sum));
+    }
+
+    /** Checksum over the bytes written so far. */
+    uint64_t checksum() const { return checksum_; }
+
+    /**
+     * True when every write so far reached the stream. Callers must
+     * check this (after flush()/close via destruction or explicitly)
+     * before treating the file as durable — a full disk otherwise
+     * produces a truncated cache with exit code 0.
+     */
+    bool
+    good()
+    {
+        out_.flush();
+        return static_cast<bool>(out_);
+    }
 
   private:
+    void
+    putRaw(const void *data, size_t n)
+    {
+        out_.write(static_cast<const char *>(data),
+                   static_cast<std::streamsize>(n));
+        checksum_ = fnv1aUpdate(checksum_, data, n);
+    }
+
     std::ofstream out_;
+    uint64_t checksum_ = kFnv1aBasis;
 };
 
 /** Streaming binary reader over a file. */
@@ -69,10 +125,19 @@ class BinaryReader
   public:
     explicit BinaryReader(const std::string &path)
         : in_(path, std::ios::binary)
-    {}
+    {
+        if (in_) {
+            in_.seekg(0, std::ios::end);
+            fileSize_ = static_cast<uint64_t>(in_.tellg());
+            in_.seekg(0, std::ios::beg);
+        }
+    }
 
     /** True if the file opened and no read error has occurred. */
     bool good() const { return static_cast<bool>(in_); }
+
+    /** Total file size in bytes (0 when the open failed). */
+    uint64_t fileSize() const { return fileSize_; }
 
     /** Read one trivially-copyable value. */
     template <typename T>
@@ -81,7 +146,7 @@ class BinaryReader
     {
         static_assert(std::is_trivially_copyable_v<T>);
         T value{};
-        in_.read(reinterpret_cast<char *>(&value), sizeof(T));
+        getRaw(&value, sizeof(T));
         return value;
     }
 
@@ -92,9 +157,14 @@ class BinaryReader
     {
         static_assert(std::is_trivially_copyable_v<T>);
         const auto n = get<uint64_t>();
+        // Bound the allocation by what the file can actually hold: a
+        // corrupted prefix must fail the read, not exhaust memory.
+        if (!fits(n * sizeof(T))) {
+            in_.setstate(std::ios::failbit);
+            return {};
+        }
         std::vector<T> v(n);
-        in_.read(reinterpret_cast<char *>(v.data()),
-                 static_cast<std::streamsize>(n * sizeof(T)));
+        getRaw(v.data(), n * sizeof(T));
         return v;
     }
 
@@ -103,14 +173,120 @@ class BinaryReader
     getString()
     {
         const auto n = get<uint64_t>();
+        if (!fits(n)) {
+            in_.setstate(std::ios::failbit);
+            return {};
+        }
         std::string s(n, '\0');
-        in_.read(s.data(), static_cast<std::streamsize>(n));
+        getRaw(s.data(), n);
         return s;
     }
 
+    /**
+     * Read the trailing checksum word and compare it to the running
+     * checksum over every byte read so far. Call after the last
+     * payload read; false on mismatch, short file, or earlier error.
+     */
+    bool
+    verifyChecksumTrailer()
+    {
+        const uint64_t expect = checksum_;
+        uint64_t stored = 0;
+        in_.read(reinterpret_cast<char *>(&stored), sizeof(stored));
+        return static_cast<bool>(in_) && stored == expect;
+    }
+
   private:
+    bool
+    fits(uint64_t bytes) const
+    {
+        const auto pos = const_cast<std::ifstream &>(in_).tellg();
+        if (pos < 0)
+            return false;
+        return bytes <= fileSize_ - static_cast<uint64_t>(pos);
+    }
+
+    void
+    getRaw(void *data, size_t n)
+    {
+        in_.read(static_cast<char *>(data),
+                 static_cast<std::streamsize>(n));
+        if (in_)
+            checksum_ = fnv1aUpdate(checksum_, data, n);
+    }
+
     std::ifstream in_;
+    uint64_t fileSize_ = 0;
+    uint64_t checksum_ = kFnv1aBasis;
 };
+
+/** Outcome of a file-header check, for named error messages. */
+enum class HeaderCheck
+{
+    Ok,
+    Unreadable, //!< open/read failure or file shorter than a header
+    BadMagic,   //!< not one of our files (or a different artifact kind)
+    BadVersion, //!< our file, stale or future format revision
+};
+
+inline const char *
+headerCheckName(HeaderCheck c)
+{
+    switch (c) {
+      case HeaderCheck::Ok:
+        return "ok";
+      case HeaderCheck::Unreadable:
+        return "unreadable";
+      case HeaderCheck::BadMagic:
+        return "bad magic";
+      case HeaderCheck::BadVersion:
+        return "version mismatch";
+    }
+    return "?";
+}
+
+/** Write the standard (magic, version) file header. */
+inline void
+writeFileHeader(BinaryWriter &w, uint64_t magic, uint32_t version)
+{
+    w.put<uint64_t>(magic);
+    w.put<uint32_t>(version);
+}
+
+/** Check the standard header; the file is positioned after it. */
+inline HeaderCheck
+readFileHeader(BinaryReader &r, uint64_t magic, uint32_t version)
+{
+    const auto got_magic = r.get<uint64_t>();
+    const auto got_version = r.get<uint32_t>();
+    if (!r.good())
+        return HeaderCheck::Unreadable;
+    if (got_magic != magic)
+        return HeaderCheck::BadMagic;
+    if (got_version != version)
+        return HeaderCheck::BadVersion;
+    return HeaderCheck::Ok;
+}
+
+/**
+ * Move a corrupt artifact aside (to "<path>.quarantined") so the
+ * rebuild cannot collide with it and the bad bytes stay available for
+ * inspection. Best-effort: falls back to remove() if rename fails.
+ */
+inline void
+quarantineFile(const std::string &path, const char *reason)
+{
+    const std::string dest = path + ".quarantined";
+    std::remove(dest.c_str());
+    if (std::rename(path.c_str(), dest.c_str()) == 0) {
+        warn("quarantined '", path, "' (", reason, ") -> '", dest,
+             "'");
+    } else {
+        std::remove(path.c_str());
+        warn("removed corrupt '", path, "' (", reason,
+             "; quarantine rename failed)");
+    }
+}
 
 } // namespace psca
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <filesystem>
 
+#include "common/env.hh"
+#include "common/fault.hh"
 #include "common/parallel.hh"
 #include "common/serialize.hh"
 #include "obs/phase.hh"
@@ -17,7 +19,7 @@ namespace psca {
 namespace {
 
 /** Bump when record semantics change, to invalidate stale caches. */
-constexpr uint32_t kCacheVersion = 3;
+constexpr uint32_t kCacheVersion = 4; // 4: file header + checksum
 constexpr uint64_t kCacheMagic = 0x50534341435253ULL; // "PSCACRS"
 
 /** Stable hash of everything that affects record contents. */
@@ -154,8 +156,7 @@ recordMode(const DecodedTrace &trace, uint64_t trace_hash,
 std::string
 cacheDirectory()
 {
-    const char *env = std::getenv("PSCA_CACHE_DIR");
-    std::string dir = env ? env : "psca_cache";
+    std::string dir = env::stringOr("PSCA_CACHE_DIR", "psca_cache");
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     return dir;
@@ -222,26 +223,47 @@ recordCorpus(const std::vector<Workload> &workloads,
     const std::string path =
         cacheDirectory() + "/" + cache_tag + "_" + hex + ".bin";
 
-    // Try the cache.
+    // Try the cache. Any integrity failure — wrong magic or version
+    // (stale/foreign file), truncation, checksum mismatch, or an
+    // injected persist.cache_corrupt fault — quarantines the file
+    // with a named reason and falls through to a full re-record.
     {
+        auto corrupt = [&](const char *reason) {
+            quarantineFile(path, reason);
+            obs::StatRegistry::instance()
+                .counter("record.cache_quarantined")
+                .add();
+        };
         BinaryReader in(path);
-        if (in.good() && in.get<uint64_t>() == kCacheMagic &&
-            in.get<uint64_t>() == hash)
-        {
-            const auto n = in.get<uint64_t>();
-            std::vector<TraceRecord> records;
-            records.reserve(n);
-            for (uint64_t i = 0; i < n && in.good(); ++i)
-                records.push_back(readRecord(in));
-            if (in.good() && records.size() == n) {
-                obs::StatRegistry::instance()
-                    .counter("record.cache_hits")
-                    .add();
-                inform("loaded ", records.size(),
-                       " cached records from ", path);
-                return records;
+        if (in.good()) {
+            const FaultSite &fault =
+                FAULT_SITE("persist.cache_corrupt");
+            const HeaderCheck hdr =
+                readFileHeader(in, kCacheMagic, kCacheVersion);
+            if (fault.enabled() && fault.fires(hash)) {
+                corrupt("injected checksum fault");
+            } else if (hdr != HeaderCheck::Ok) {
+                corrupt(headerCheckName(hdr));
+            } else if (in.get<uint64_t>() != hash || !in.good()) {
+                corrupt("config-hash mismatch");
+            } else {
+                const auto n = in.get<uint64_t>();
+                std::vector<TraceRecord> records;
+                records.reserve(n);
+                for (uint64_t i = 0; i < n && in.good(); ++i)
+                    records.push_back(readRecord(in));
+                if (in.good() && records.size() == n &&
+                    in.verifyChecksumTrailer())
+                {
+                    obs::StatRegistry::instance()
+                        .counter("record.cache_hits")
+                        .add();
+                    inform("loaded ", records.size(),
+                           " cached records from ", path);
+                    return records;
+                }
+                corrupt("truncated or checksum mismatch");
             }
-            warn("discarding corrupt cache ", path);
         }
     }
 
@@ -270,11 +292,23 @@ recordCorpus(const std::vector<Workload> &workloads,
             });
 
     BinaryWriter out(path);
-    out.put(kCacheMagic);
+    writeFileHeader(out, kCacheMagic, kCacheVersion);
     out.put(hash);
     out.put<uint64_t>(records.size());
     for (const auto &r : records)
         writeRecord(out, r);
+    out.putChecksumTrailer();
+    if (!out.good()) {
+        // Surface the short write and drop the partial file: the
+        // next run must re-record, not deserialize a truncation.
+        warn("record cache '", path,
+             "': write failed; removing partial file");
+        obs::StatRegistry::instance()
+            .counter("record.cache_write_failures")
+            .add();
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
     return records;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
+#include "common/fault.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
 #include "sim/core.hh"
@@ -42,6 +44,34 @@ DualModelPredictor::decide(const std::vector<const float *> &sub_rows,
         mode == CoreMode::HighPerf ? high_ : low_;
     std::vector<float> scaled(agg.size());
     slot.scaler.applyRow(agg.data(), scaled.data());
+
+    // Input sanitation (always on): faulted telemetry can hand the
+    // model NaN/Inf or values far outside the trained distribution.
+    // Non-finite inputs veto straight to high-performance mode (the
+    // fail-safe configuration); finite outliers are clamped to a
+    // generous z-score envelope no healthy snapshot reaches.
+    constexpr float kMaxAbsZ = 24.0f;
+    size_t clamped = 0;
+    for (auto &z : scaled) {
+        if (!std::isfinite(z)) {
+            obs::StatRegistry::instance()
+                .counter("controller.sanitize_vetoes")
+                .add();
+            return false;
+        }
+        if (z > kMaxAbsZ) {
+            z = kMaxAbsZ;
+            ++clamped;
+        } else if (z < -kMaxAbsZ) {
+            z = -kMaxAbsZ;
+            ++clamped;
+        }
+    }
+    if (clamped > 0) {
+        obs::StatRegistry::instance()
+            .counter("controller.sanitized_inputs")
+            .add(clamped);
+    }
     return slot.model->predict(scaled.data());
 }
 
@@ -83,6 +113,16 @@ SrchPredictor::decide(const std::vector<const float *> &sub_rows,
 
     std::vector<float> features(model->encoder().numFeatures());
     model->encoder().encode(row_ptrs, features.data());
+    // Same fail-safe as DualModelPredictor: a non-finite feature
+    // (corrupt telemetry) vetoes to high-performance mode.
+    for (const float f : features) {
+        if (!std::isfinite(f)) {
+            obs::StatRegistry::instance()
+                .counter("controller.sanitize_vetoes")
+                .add();
+            return false;
+        }
+    }
     return model->predict(features.data());
 }
 
@@ -146,6 +186,20 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
         k, std::vector<float>(cfg.counterIds.size()));
     std::vector<float> sub_cycles(k);
 
+    // Fault injection corrupts only the controller's telemetry view
+    // (sub_rows/sub_cycles); ground-truth deltas still feed energy
+    // and performance accounting. Draws are keyed by the workload's
+    // deterministic identity mixed with the sub-interval index, so
+    // fault sequences are identical at any thread count.
+    const bool faults_on = FaultRegistry::instance().anyEnabled();
+    const uint64_t trace_key = mixSeeds(
+        workload.genome.seed,
+        mixSeeds(workload.inputSeed, workload.traceIndex));
+    const FaultSite &miss_site = FAULT_SITE("uc.deadline_miss");
+    std::vector<uint64_t> view;
+    std::vector<float> carry_row(cfg.counterIds.size(), 0.0f);
+    float carry_cycles = 0.0f;
+
     PpwAccumulator adaptive;
     uint64_t low_blocks = 0;
     // Decisions waiting to be applied (decision at block b applies
@@ -166,17 +220,56 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
             for (size_t i = 0; i < now.size(); ++i)
                 delta_all[i] = now[i] - prev[i];
             prev = now;
-            for (size_t j = 0; j < cfg.counterIds.size(); ++j)
-                sub_rows[t][j] = static_cast<float>(
-                    delta_all[cfg.counterIds[j]]);
-            sub_cycles[t] = static_cast<float>(stats.cycles);
+            bool dropped = false;
+            if (faults_on) {
+                view = delta_all;
+                dropped = applyTelemetryFaults(
+                    view, mixSeeds(trace_key, b * k + t));
+            }
+            if (dropped) {
+                // Snapshot lost in flight: the controller reuses its
+                // previous view of this lane rather than reading
+                // garbage (zeros at the very start of the run).
+                sub_rows[t] = carry_row;
+                sub_cycles[t] = carry_cycles;
+                reg.counter("controller.snapshot_carryforwards")
+                    .add();
+            } else {
+                const auto &src = faults_on ? view : delta_all;
+                for (size_t j = 0; j < cfg.counterIds.size(); ++j)
+                    sub_rows[t][j] = static_cast<float>(
+                        src[cfg.counterIds[j]]);
+                sub_cycles[t] = static_cast<float>(stats.cycles);
+                if (faults_on) {
+                    carry_row = sub_rows[t];
+                    carry_cycles = sub_cycles[t];
+                }
+            }
             adaptive.add(stats.instructions, stats.cycles,
                          power.intervalEnergyNj(delta_all,
                                                 stats.cycles,
                                                 block_mode));
         }
 
-        // Microcontroller inference for block b+2.
+        // Microcontroller inference for block b+2. A deadline miss
+        // (injected, or deterministic-on-overrun when the site's
+        // param >= 1 and the model's static ops exceed the budget)
+        // means the result arrives too late to matter: the
+        // controller carries the most recently scheduled decision
+        // forward instead of consuming a stale or partial one.
+        bool deadline_missed = false;
+        if (miss_site.enabled()) {
+            deadline_missed = miss_site.param(0.0) >= 1.0
+                ? predictor.opsPerInference() > ops_budget
+                : miss_site.fires(mixSeeds(trace_key, b));
+        }
+        if (deadline_missed) {
+            reg.counter("controller.deadline_misses").add();
+            result.ucOps += predictor.opsPerInference();
+            if (b + 2 < pending.size())
+                pending[b + 2] = pending[b + 1];
+            continue;
+        }
         std::vector<const float *> row_ptrs;
         for (size_t t = 0; t < k; ++t)
             row_ptrs.push_back(sub_rows[t].data());

@@ -1,11 +1,13 @@
 #include "core/firmware_image.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/serialize.hh"
 #include "ml/linear.hh"
 #include "ml/mlp.hh"
 #include "ml/tree.hh"
+#include "obs/stats.hh"
 #include "uc/compilers.hh"
 
 namespace psca {
@@ -13,6 +15,7 @@ namespace psca {
 namespace {
 
 constexpr uint64_t kMagic = 0x50534341465731ULL; // "PSCAFW1"
+constexpr uint32_t kFwVersion = 2; // 2: checksum trailer
 
 void
 writeSlot(BinaryWriter &out, const FirmwareSlot &slot)
@@ -59,12 +62,13 @@ void
 FirmwarePackage::save(const std::string &path) const
 {
     BinaryWriter out(path);
-    out.put(kMagic);
+    writeFileHeader(out, kMagic, kFwVersion);
     out.putString(name);
     out.put(granularityInstr);
     out.putVector(columns);
     writeSlot(out, high);
     writeSlot(out, low);
+    out.putChecksumTrailer();
     PSCA_ASSERT(out.good(), "firmware image write failed");
 }
 
@@ -72,7 +76,11 @@ FirmwarePackage
 FirmwarePackage::load(const std::string &path)
 {
     BinaryReader in(path);
-    if (!in.good() || in.get<uint64_t>() != kMagic)
+    const HeaderCheck hdr = readFileHeader(in, kMagic, kFwVersion);
+    if (hdr == HeaderCheck::BadVersion)
+        fatal("firmware image '", path,
+              "': version mismatch (stale or future format)");
+    if (hdr != HeaderCheck::Ok)
         fatal("'", path, "' is not a psca firmware image");
     FirmwarePackage pkg;
     pkg.name = in.getString();
@@ -82,6 +90,10 @@ FirmwarePackage::load(const std::string &path)
     pkg.low = readSlot(in);
     if (!in.good())
         fatal("firmware image '", path, "' is truncated");
+    // A firmware image is flashed, not rebuilt: unlike the caches
+    // there is no fallback, so a checksum mismatch is fatal.
+    if (!in.verifyChecksumTrailer())
+        fatal("firmware image '", path, "' failed checksum");
     return pkg;
 }
 
@@ -141,8 +153,42 @@ VmPredictor::decide(const std::vector<const float *> &sub_rows,
         mode == CoreMode::HighPerf ? package_.high : package_.low;
     std::vector<float> scaled(agg.size());
     slot.scaler.applyRow(agg.data(), scaled.data());
+
+    // Same input sanitation as DualModelPredictor: the firmware path
+    // sees the identical faulted telemetry view.
+    constexpr float kMaxAbsZ = 24.0f;
+    size_t clamped = 0;
+    for (auto &z : scaled) {
+        if (!std::isfinite(z)) {
+            obs::StatRegistry::instance()
+                .counter("controller.sanitize_vetoes")
+                .add();
+            return false;
+        }
+        if (z > kMaxAbsZ) {
+            z = kMaxAbsZ;
+            ++clamped;
+        } else if (z < -kMaxAbsZ) {
+            z = -kMaxAbsZ;
+            ++clamped;
+        }
+    }
+    if (clamped > 0) {
+        obs::StatRegistry::instance()
+            .counter("controller.sanitized_inputs")
+            .add(clamped);
+    }
+
     const double score =
         vm_.run(slot.program, scaled.data(), scaled.size());
+    if (vm_.trapped()) {
+        // The inference aborted mid-program; its score is garbage.
+        // Fail safe to the high-performance configuration.
+        obs::StatRegistry::instance()
+            .counter("controller.vm_trap_failsafes")
+            .add();
+        return false;
+    }
     return score >= slot.threshold;
 }
 

@@ -1,5 +1,7 @@
 #include "core/guardrail.hh"
 
+#include "obs/stats.hh"
+
 namespace psca {
 
 GuardrailedPredictor::GuardrailedPredictor(GatePredictor &inner,
@@ -58,6 +60,9 @@ GuardrailedPredictor::decide(
             ++trips_;
             holdoffRemaining_ = cfg_.holdoffBlocks;
             violationStreak_ = 0;
+            obs::StatRegistry::instance()
+                .counter("controller.guardrail_trips")
+                .add();
         }
     }
 

@@ -16,6 +16,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/env.hh"
+
 namespace psca {
 
 /** Scale parameters shared by tests and benches. */
@@ -36,8 +38,8 @@ struct ScaleConfig
     static ScaleConfig
     fromEnv()
     {
-        const char *env = std::getenv("PSCA_SCALE");
-        const std::string scale = env ? env : "default";
+        const std::string scale = env::enumOr(
+            "PSCA_SCALE", {"quick", "default", "full"}, "default");
         ScaleConfig cfg;
         if (scale == "quick") {
             cfg.hdtrApps = 140;

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/env.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "obs/stats.hh"
 
@@ -14,19 +16,18 @@ namespace obs {
 bool
 reportEnabled()
 {
-    const char *env = std::getenv("PSCA_REPORT");
-    return !(env && std::strcmp(env, "0") == 0);
+    return env::flagOr("PSCA_REPORT", true);
 }
 
 std::string
 reportPath(const std::string &name)
 {
-    const char *dir = std::getenv("PSCA_REPORT_DIR");
-    if (!dir || !*dir)
+    const std::string dir = env::stringOr("PSCA_REPORT_DIR", "");
+    if (dir.empty())
         return name + ".json";
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    return std::string(dir) + "/" + name + ".json";
+    return dir + "/" + name + ".json";
 }
 
 void
@@ -34,12 +35,29 @@ writeRunReport(const std::string &name)
 {
     if (!reportEnabled())
         return;
+    // Pull the fault-site fire tallies into the registry so every
+    // injection shows up next to the degradation counters it caused.
+    // Only sites that actually fired are exported: a fault-free run's
+    // report stays byte-identical to one built without fault sites.
+    auto &reg = StatRegistry::instance();
+    FaultRegistry::instance().forEachSite(
+        [&reg](const FaultSite &site) {
+            if (site.fireCount() > 0) {
+                reg.gauge("fault." + site.name() + ".fires")
+                    .set(static_cast<double>(site.fireCount()));
+            }
+        });
     // Drain any buffered log output first so a consumer tailing the
     // log sees every line from the run before the report appears.
     std::fflush(stderr);
     std::fflush(stdout);
     const std::string path = reportPath(name);
-    StatRegistry::instance().dumpJson(path, name);
+    if (!reg.dumpJson(path, name)) {
+        warn("run report '", path,
+             "' is truncated: stream error during write (disk "
+             "full?)");
+        return;
+    }
     inform("run report written to ", path);
 }
 

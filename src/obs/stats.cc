@@ -339,7 +339,7 @@ StatRegistry::writeJson(std::ostream &os,
     os << "  ]\n}\n";
 }
 
-void
+bool
 StatRegistry::dumpJson(const std::string &path,
                        const std::string &report_name) const
 {
@@ -347,6 +347,8 @@ StatRegistry::dumpJson(const std::string &path,
     if (!out)
         fatal("cannot open run-report file '", path, "'");
     writeJson(out, report_name);
+    out.flush();
+    return static_cast<bool>(out);
 }
 
 void

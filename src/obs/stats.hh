@@ -285,8 +285,12 @@ class StatRegistry
     void writeJson(std::ostream &os,
                    const std::string &report_name) const;
 
-    /** writeJson() to a file; fatal() when the file cannot open. */
-    void dumpJson(const std::string &path,
+    /**
+     * writeJson() to a file; fatal() when the file cannot open.
+     * @return false when the stream errored after opening (full
+     *         disk, quota) — the file on disk is truncated JSON.
+     */
+    bool dumpJson(const std::string &path,
                   const std::string &report_name) const;
 
     /** Human-readable table + phase tree. */

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
 
@@ -127,8 +128,7 @@ ClusteredCore::ClusteredCore(const CoreConfig &cfg)
     fillBuffer_.reserve(2048);
     decodeBuf_.reserve(4096);
 
-    const char *aos = std::getenv("PSCA_SIM_AOS");
-    if (aos != nullptr && aos[0] != '\0' && aos[0] != '0')
+    if (env::flagOr("PSCA_SIM_AOS", false))
         replayPath_ = ReplayPath::AosOracle;
 }
 

@@ -1,10 +1,13 @@
 #include "sim/memo.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <thread>
 
+#include "common/env.hh"
+#include "common/fault.hh"
 #include "common/rng.hh"
 #include "common/serialize.hh"
 #include "obs/stats.hh"
@@ -14,9 +17,29 @@ namespace psca {
 
 namespace {
 
-/** Bump when the timing model or counter semantics change. */
-constexpr uint32_t kMemoVersion = 1;
+/** Bump when the timing model, counter semantics, or format change. */
+constexpr uint32_t kMemoVersion = 2; // 2: header helper + checksum
 constexpr uint64_t kMemoMagic = 0x50534341534d454dULL; // "PSCASMEM"
+
+/** Transient-IO attempts before giving up (cold path is a rebuild). */
+constexpr int kIoAttempts = 3;
+
+/** Exponential backoff between transient-IO retries. */
+void
+ioBackoff(int attempt)
+{
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1 << attempt));
+}
+
+/** True when the injected transient-IO fault hits this attempt. */
+bool
+ioFaultHits(uint64_t key, int attempt)
+{
+    const FaultSite &io = FAULT_SITE("persist.io_error");
+    return io.enabled() &&
+        io.fires(mixSeeds(key, static_cast<uint64_t>(attempt)));
+}
 
 } // namespace
 
@@ -81,11 +104,8 @@ SimMemo::SimMemo()
     // Same cache root as the corpus cache (core/builder.cc); the env
     // lookup is duplicated because sim/ sits below core/ in the
     // dependency order.
-    const char *env = std::getenv("PSCA_CACHE_DIR");
-    dir_ = env ? env : "psca_cache";
-    const char *flag = std::getenv("PSCA_SIM_MEMO");
-    if (flag != nullptr && flag[0] == '0' && flag[1] == '\0')
-        enabled_ = false;
+    dir_ = env::stringOr("PSCA_CACHE_DIR", "psca_cache");
+    enabled_ = env::flagOr("PSCA_SIM_MEMO", true);
 }
 
 std::string
@@ -105,16 +125,66 @@ SimMemo::lookup(const MemoKey &key, MemoIntervals &out) const
     if (!enabled_)
         return false;
     auto &reg = obs::StatRegistry::instance();
+    const std::string path = pathFor(key);
+    const uint64_t iokey = mixSeeds(
+        key.traceHash,
+        mixSeeds(key.configHash, static_cast<uint64_t>(key.mode)));
 
-    BinaryReader in(pathFor(key));
-    if (!in.good() || in.get<uint64_t>() != kMemoMagic ||
-        in.get<uint32_t>() != kMemoVersion ||
-        in.get<uint64_t>() != key.traceHash ||
-        in.get<uint64_t>() != key.configHash ||
-        in.get<uint8_t>() != static_cast<uint8_t>(key.mode))
-    {
+    // Transient filesystem errors (injected via persist.io_error, or
+    // conceivably real on networked storage) get a bounded retry
+    // with backoff; persistent failure degrades to a rebuild.
+    for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+        if (ioFaultHits(iokey, attempt)) {
+            reg.counter("memo.io_retries").add();
+            ioBackoff(attempt);
+            continue;
+        }
+        return readMemoFile(path, key, iokey, out);
+    }
+    warn("memo '", path, "': transient IO error persisted across ",
+         kIoAttempts, " attempts; resimulating");
+    reg.counter("memo.io_giveups").add();
+    reg.counter("memo.misses").add();
+    return false;
+}
+
+bool
+SimMemo::readMemoFile(const std::string &path, const MemoKey &key,
+                      uint64_t iokey, MemoIntervals &out) const
+{
+    auto &reg = obs::StatRegistry::instance();
+    // A miss with a named reason: quarantine the file so the rebuild
+    // cannot collide with the bad bytes.
+    auto corrupt = [&](const char *reason) {
+        quarantineFile(path, reason);
+        reg.counter("memo.quarantined").add();
         reg.counter("memo.misses").add();
         return false;
+    };
+
+    BinaryReader in(path);
+    if (!in.good()) {
+        // Plain cold miss: nothing on disk to quarantine.
+        reg.counter("memo.misses").add();
+        return false;
+    }
+
+    // Injected corruption: the file exists but fails its integrity
+    // check, exactly as a bit-flip would make it.
+    const FaultSite &corrupt_site = FAULT_SITE("persist.memo_corrupt");
+    if (corrupt_site.enabled() && corrupt_site.fires(iokey))
+        return corrupt("injected checksum fault");
+
+    const HeaderCheck hdr = readFileHeader(in, kMemoMagic,
+                                           kMemoVersion);
+    if (hdr != HeaderCheck::Ok)
+        return corrupt(headerCheckName(hdr));
+    if (in.get<uint64_t>() != key.traceHash ||
+        in.get<uint64_t>() != key.configHash ||
+        in.get<uint8_t>() != static_cast<uint8_t>(key.mode) ||
+        !in.good())
+    {
+        return corrupt("key mismatch");
     }
 
     const uint64_t n_intervals = in.get<uint64_t>();
@@ -126,18 +196,16 @@ SimMemo::lookup(const MemoKey &key, MemoIntervals &out) const
         for (uint32_t j = 0; j < nnz; ++j) {
             const uint16_t idx = in.get<uint16_t>();
             const uint64_t val = in.get<uint64_t>();
-            if (idx >= kNumTelemetryCounters) {
-                reg.counter("memo.misses").add();
-                return false;
-            }
+            if (idx >= kNumTelemetryCounters)
+                return corrupt("counter index out of range");
             deltas[idx] = val;
         }
         intervals.push_back(std::move(deltas));
     }
-    if (!in.good() || intervals.size() != n_intervals) {
-        reg.counter("memo.misses").add();
-        return false;
-    }
+    if (!in.good() || intervals.size() != n_intervals)
+        return corrupt("truncated");
+    if (!in.verifyChecksumTrailer())
+        return corrupt("checksum mismatch");
     out = std::move(intervals);
     reg.counter("memo.hits").add();
     return true;
@@ -148,6 +216,7 @@ SimMemo::store(const MemoKey &key, const MemoIntervals &intervals) const
 {
     if (!enabled_)
         return;
+    auto &reg = obs::StatRegistry::instance();
 
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -159,35 +228,55 @@ SimMemo::store(const MemoKey &key, const MemoIntervals &intervals) const
     const std::string tmp = path + ".tmp." +
         std::to_string(std::hash<std::thread::id>{}(
             std::this_thread::get_id()) & 0xffffff);
-    {
-        BinaryWriter out(tmp);
-        out.put(kMemoMagic);
-        out.put(kMemoVersion);
-        out.put(key.traceHash);
-        out.put(key.configHash);
-        out.put(static_cast<uint8_t>(key.mode));
-        out.put<uint64_t>(intervals.size());
-        for (const auto &deltas : intervals) {
-            uint32_t nnz = 0;
-            for (uint64_t v : deltas)
-                nnz += v != 0 ? 1 : 0;
-            out.put(nnz);
-            for (size_t idx = 0; idx < deltas.size(); ++idx) {
-                if (deltas[idx] != 0) {
-                    out.put(static_cast<uint16_t>(idx));
-                    out.put(deltas[idx]);
+    const uint64_t iokey = ~mixSeeds(
+        key.traceHash,
+        mixSeeds(key.configHash, static_cast<uint64_t>(key.mode)));
+
+    for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+        if (ioFaultHits(iokey, attempt)) {
+            reg.counter("memo.io_retries").add();
+            ioBackoff(attempt);
+            continue;
+        }
+        {
+            BinaryWriter out(tmp);
+            writeFileHeader(out, kMemoMagic, kMemoVersion);
+            out.put(key.traceHash);
+            out.put(key.configHash);
+            out.put(static_cast<uint8_t>(key.mode));
+            out.put<uint64_t>(intervals.size());
+            for (const auto &deltas : intervals) {
+                uint32_t nnz = 0;
+                for (uint64_t v : deltas)
+                    nnz += v != 0 ? 1 : 0;
+                out.put(nnz);
+                for (size_t idx = 0; idx < deltas.size(); ++idx) {
+                    if (deltas[idx] != 0) {
+                        out.put(static_cast<uint16_t>(idx));
+                        out.put(deltas[idx]);
+                    }
                 }
             }
+            out.putChecksumTrailer();
+            if (!out.good()) {
+                // Out of disk or a dying device: drop the partial
+                // temp file loudly; the cache stays consistent.
+                std::filesystem::remove(tmp, ec);
+                warn("memo '", path,
+                     "': write failed; entry not cached");
+                reg.counter("memo.write_failures").add();
+                return;
+            }
         }
-        if (!out.good()) {
+        std::filesystem::rename(tmp, path, ec);
+        if (ec)
             std::filesystem::remove(tmp, ec);
-            return;
-        }
+        reg.counter("memo.stores").add();
+        return;
     }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        std::filesystem::remove(tmp, ec);
-    obs::StatRegistry::instance().counter("memo.stores").add();
+    warn("memo '", path, "': transient IO error persisted across ",
+         kIoAttempts, " attempts; entry not cached");
+    reg.counter("memo.io_giveups").add();
 }
 
 } // namespace psca

@@ -19,6 +19,13 @@
  *
  * PSCA_SIM_MEMO=0 disables the cache; PSCA_CACHE_DIR relocates it
  * (same knob the corpus cache uses).
+ *
+ * Integrity: files carry the standard (magic, version) header and an
+ * FNV-1a checksum trailer. A file that fails any check is quarantined
+ * (renamed to <path>.quarantined) and the simulation reruns — a
+ * corrupt cache can degrade build time, never results. Transient IO
+ * errors (fault site persist.io_error) are retried with bounded
+ * exponential backoff before falling back to resimulation.
  */
 
 #ifndef PSCA_SIM_MEMO_HH
@@ -78,6 +85,10 @@ class SimMemo
 
   private:
     SimMemo();
+
+    /** One read attempt: validate header, payload, and checksum. */
+    bool readMemoFile(const std::string &path, const MemoKey &key,
+                      uint64_t iokey, MemoIntervals &out) const;
 
     std::string dir_;
     bool enabled_ = true;

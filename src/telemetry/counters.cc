@@ -1,5 +1,8 @@
 #include "telemetry/counters.hh"
 
+#include <cmath>
+
+#include "common/fault.hh"
 #include "trace/uop.hh"
 
 namespace psca {
@@ -197,6 +200,75 @@ Counters::syncMirrors()
     const auto &reg = CounterRegistry::instance();
     for (size_t k = 0; k < reg.numMirrors(); ++k)
         values_[reg.mirrorIndex(k)] = values_[reg.mirrorSource(k)];
+}
+
+namespace {
+
+// Substream lanes keeping the per-site draw streams (which counter is
+// stuck, which saturates, per-delta noise) independent of the fire
+// streams and of each other.
+constexpr uint64_t kLaneStuckIndex = 101;
+constexpr uint64_t kLaneSaturIndex = 102;
+constexpr uint64_t kLaneNoiseBase = 1000;
+
+} // namespace
+
+bool
+applyTelemetryFaults(std::vector<uint64_t> &deltas, uint64_t key)
+{
+    if (!FaultRegistry::instance().anyEnabled())
+        return false;
+
+    const FaultSite &drop = FAULT_SITE("telemetry.dropped_snapshot");
+    if (drop.enabled() && drop.fires(key))
+        return true;
+
+    // Stuck-at: one counter's delta reads zero this interval. The
+    // victim index is the site param, or seed-derived when omitted —
+    // fixed for the whole run either way, like a real stuck bit.
+    const FaultSite &stuck = FAULT_SITE("telemetry.stuck_counter");
+    if (stuck.enabled() && stuck.fires(key)) {
+        const double p = stuck.param(-1.0);
+        const size_t idx = p >= 0.0 &&
+                static_cast<size_t>(p) < deltas.size()
+            ? static_cast<size_t>(p)
+            : static_cast<size_t>(
+                  stuck.draw(0, kLaneStuckIndex, deltas.size()));
+        deltas[idx] = 0;
+    }
+
+    // Saturation/wraparound: one seed-chosen counter wraps at
+    // 2^param bits (default 20), as if the hardware register were
+    // narrower than the convergence point assumes.
+    const FaultSite &sat = FAULT_SITE("telemetry.saturation");
+    if (sat.enabled() && sat.fires(key)) {
+        const double bits_d = sat.param(20.0);
+        const unsigned bits = bits_d >= 1.0 && bits_d < 64.0
+            ? static_cast<unsigned>(bits_d)
+            : 20u;
+        const size_t idx = static_cast<size_t>(
+            sat.draw(0, kLaneSaturIndex, deltas.size()));
+        deltas[idx] &= (uint64_t{1} << bits) - 1;
+    }
+
+    // Gaussian read noise: every delta scaled by (1 + sigma*N(0,1)),
+    // one independent substream per counter index.
+    const FaultSite &noise = FAULT_SITE("telemetry.noise");
+    if (noise.enabled() && noise.fires(key)) {
+        const double sigma = noise.param(0.05);
+        for (size_t i = 0; i < deltas.size(); ++i) {
+            if (deltas[i] == 0)
+                continue;
+            const double g = noise.gaussian(key, kLaneNoiseBase + i);
+            const double scaled =
+                static_cast<double>(deltas[i]) * (1.0 + sigma * g);
+            deltas[i] = scaled <= 0.0
+                ? 0
+                : static_cast<uint64_t>(std::llround(scaled));
+        }
+    }
+
+    return false;
 }
 
 } // namespace psca

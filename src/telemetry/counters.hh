@@ -265,6 +265,22 @@ class Counters
     std::vector<uint64_t> values_;
 };
 
+/**
+ * Apply the armed telemetry fault sites to one interval's
+ * counter-delta snapshot, in place. The caller passes the copy that
+ * feeds the controller's *view* — ground-truth accounting (energy,
+ * labels, records) must never see a faulted snapshot.
+ *
+ * @p key identifies the interval deterministically (trace hash mixed
+ * with interval index): draws depend only on (fault seed, site, key),
+ * never on thread count or call order.
+ *
+ * Returns true when telemetry.dropped_snapshot fired and the whole
+ * snapshot is lost — the caller reuses its previous view. Near-free
+ * when no fault site is armed (one registry bool load).
+ */
+bool applyTelemetryFaults(std::vector<uint64_t> &deltas, uint64_t key);
+
 } // namespace psca
 
 #endif // PSCA_TELEMETRY_COUNTERS_HH

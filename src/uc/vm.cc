@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/fault.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
 
@@ -54,12 +55,30 @@ UcVm::run(const UcProgram &program, const float *inputs,
         obs::StatRegistry::instance().histogram("uc.inference_ns");
     const auto t0 = std::chrono::steady_clock::now();
 
+    // Injected trap: abort after a seed-chosen prefix of the program,
+    // as if the microcontroller faulted mid-inference. Keyed by this
+    // VM's run index — inference order is serial per controller, so
+    // the trap sequence is thread-count independent.
+    ++runs_;
+    trapped_ = false;
+    size_t trap_at = program.code.size();
+    const FaultSite &trap = FAULT_SITE("uc.vm_trap");
+    if (trap.enabled() && trap.fires(runs_)) {
+        trap_at = static_cast<size_t>(
+            trap.draw(runs_, 0, program.code.size()));
+    }
+
     ops_ = 0;
     double result = 0.0;
     bool halted = false;
-    for (const auto &inst : program.code) {
+    for (size_t pc = 0; pc < program.code.size(); ++pc) {
         if (halted)
             break;
+        if (pc == trap_at) {
+            trapped_ = true;
+            break;
+        }
+        const auto &inst = program.code[pc];
         ops_ += opCost(inst.op);
         switch (inst.op) {
           case UcOpcode::LoadImm:
@@ -131,8 +150,11 @@ UcVm::run(const UcProgram &program, const float *inputs,
         }
     }
     total_ops_ += ops_;
-    if (!halted)
+    if (trapped_) {
+        obs::StatRegistry::instance().counter("uc.vm_traps").add();
+    } else if (!halted) {
         warn("firmware program missing Halt");
+    }
     ops_ctr.add(ops_);
     runs_ctr.add();
     duration_hist.add(obs::elapsedNs(t0));

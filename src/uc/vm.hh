@@ -90,6 +90,14 @@ class UcVm
     /** Cumulative operations across all runs. */
     uint64_t totalOps() const { return total_ops_; }
 
+    /**
+     * True when the last run() hit an injected trap (uc.vm_trap
+     * fault site) and aborted mid-program. The score returned by
+     * that run is garbage; callers must fail safe instead of acting
+     * on it.
+     */
+    bool trapped() const { return trapped_; }
+
     /** Microcode cost of an opcode in microcontroller operations. */
     static uint32_t opCost(UcOpcode op);
 
@@ -98,6 +106,8 @@ class UcVm
     std::vector<int32_t> iregs_;
     uint64_t ops_ = 0;
     uint64_t total_ops_ = 0;
+    uint64_t runs_ = 0;
+    bool trapped_ = false;
 };
 
 } // namespace psca

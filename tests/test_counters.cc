@@ -120,6 +120,9 @@ TEST(Counters, ResetZeroes)
 
 TEST(Registry, UnknownNameIsFatal)
 {
+    // Re-exec instead of fork; forking a threaded process can
+    // deadlock the death-test child.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH(CounterRegistry::instance().indexOf("No Such Counter"),
                  "unknown counter");
 }

@@ -132,6 +132,10 @@ TEST(FirmwarePackage, VmDecisionsMatchNativeClosedLoop)
 
 TEST(FirmwarePackage, LoadRejectsGarbage)
 {
+    // Re-exec instead of fork: the closed-loop tests above started
+    // the thread pool, and forking a threaded process can deadlock
+    // the death-test child (seen under UBSan's shifted timing).
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     const std::string path = "/tmp/psca_fw_garbage.bin";
     {
         std::ofstream out(path, std::ios::binary);

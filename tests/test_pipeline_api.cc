@@ -41,6 +41,10 @@ TEST(CounterPlan, ColumnsResolve)
 
 TEST(CounterPlan, TooManyRequestedIsFatal)
 {
+    // Re-exec instead of fork: the suite's earlier tests started the
+    // thread pool, and forking a threaded process can deadlock the
+    // death-test child (seen under UBSan's shifted timing).
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     const CounterPlan plan = makeCounterPlan({1, 2});
     EXPECT_DEATH(plan.pfColumns(5), "not enough PF counters");
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "common/serialize.hh"
 
@@ -112,4 +113,125 @@ TEST_F(SerializeTest, TruncatedReadTurnsNotGood)
     in.get<uint32_t>();
     in.get<uint64_t>(); // past EOF
     EXPECT_FALSE(in.good());
+}
+
+TEST_F(SerializeTest, ChecksumTrailerRoundTrips)
+{
+    {
+        BinaryWriter out(path_);
+        out.put<uint64_t>(0x1122334455667788ULL);
+        out.putVector(std::vector<float>{1.5f, -2.5f});
+        out.putString("payload");
+        out.putChecksumTrailer();
+        ASSERT_TRUE(out.good());
+    }
+    BinaryReader in(path_);
+    in.get<uint64_t>();
+    in.getVector<float>();
+    in.getString();
+    EXPECT_TRUE(in.verifyChecksumTrailer());
+}
+
+TEST_F(SerializeTest, ChecksumCatchesSingleFlippedByte)
+{
+    {
+        BinaryWriter out(path_);
+        for (uint32_t i = 0; i < 64; ++i)
+            out.put<uint32_t>(i);
+        out.putChecksumTrailer();
+    }
+    // Flip one payload byte in the middle of the file.
+    {
+        std::fstream f(path_,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(100);
+        char b = 0;
+        f.read(&b, 1);
+        b ^= 0x10;
+        f.seekp(100);
+        f.write(&b, 1);
+    }
+    BinaryReader in(path_);
+    for (uint32_t i = 0; i < 64; ++i)
+        in.get<uint32_t>();
+    ASSERT_TRUE(in.good()); // bytes read fine...
+    EXPECT_FALSE(in.verifyChecksumTrailer()); // ...but don't verify
+}
+
+TEST_F(SerializeTest, ChecksumFailsOnTruncatedTrailer)
+{
+    {
+        BinaryWriter out(path_);
+        out.put<uint32_t>(7);
+        // No trailer written.
+    }
+    BinaryReader in(path_);
+    in.get<uint32_t>();
+    EXPECT_FALSE(in.verifyChecksumTrailer());
+}
+
+TEST_F(SerializeTest, FileHeaderChecks)
+{
+    constexpr uint64_t kMagic = 0x50534341464f4fULL;
+    {
+        BinaryWriter out(path_);
+        writeFileHeader(out, kMagic, 3);
+        out.put<uint8_t>(42);
+    }
+    {
+        BinaryReader in(path_);
+        EXPECT_EQ(readFileHeader(in, kMagic, 3), HeaderCheck::Ok);
+        EXPECT_EQ(in.get<uint8_t>(), 42); // positioned past header
+    }
+    {
+        BinaryReader in(path_);
+        EXPECT_EQ(readFileHeader(in, kMagic + 1, 3),
+                  HeaderCheck::BadMagic);
+    }
+    {
+        BinaryReader in(path_);
+        EXPECT_EQ(readFileHeader(in, kMagic, 4),
+                  HeaderCheck::BadVersion);
+    }
+    {
+        std::ofstream(path_, std::ios::binary).put('x'); // too short
+        BinaryReader in(path_);
+        EXPECT_EQ(readFileHeader(in, kMagic, 3),
+                  HeaderCheck::Unreadable);
+    }
+    EXPECT_STREQ(headerCheckName(HeaderCheck::BadVersion),
+                 "version mismatch");
+}
+
+TEST_F(SerializeTest, CorruptLengthPrefixCannotExhaustMemory)
+{
+    {
+        BinaryWriter out(path_);
+        // A length prefix claiming ~10^18 elements in a tiny file.
+        out.put<uint64_t>(1ULL << 60);
+        out.put<uint32_t>(1);
+    }
+    BinaryReader in(path_);
+    EXPECT_TRUE(in.getVector<double>().empty());
+    EXPECT_FALSE(in.good());
+
+    BinaryReader in2(path_);
+    EXPECT_TRUE(in2.getString().empty());
+    EXPECT_FALSE(in2.good());
+}
+
+TEST_F(SerializeTest, QuarantineMovesCorruptFileAside)
+{
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "corrupt bytes";
+    }
+    const std::string dest = path_ + ".quarantined";
+    std::filesystem::remove(dest);
+    quarantineFile(path_, "test");
+    EXPECT_FALSE(std::filesystem::exists(path_));
+    ASSERT_TRUE(std::filesystem::exists(dest));
+    // The quarantined copy keeps the original bytes for inspection.
+    EXPECT_EQ(std::filesystem::file_size(dest), 13u);
+    std::filesystem::remove(dest);
 }
