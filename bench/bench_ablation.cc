@@ -14,6 +14,7 @@
 #include "bench_common.hh"
 
 #include "core/guardrail.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
@@ -48,8 +49,8 @@ trainRfAt(const ExperimentContext &ctx, uint64_t granularity,
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     banner("Ablations -- granularity and the fail-safe guardrail");
     ReportGuard report("ablation");
@@ -106,4 +107,10 @@ main()
                 "PPW cost; the paper argues good training makes it "
                 "nearly unnecessary)\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

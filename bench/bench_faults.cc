@@ -17,6 +17,7 @@
 
 #include "common/fault.hh"
 #include "core/guardrail.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
@@ -111,8 +112,8 @@ mixAtIntensity(double m)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     banner("Fault sweep -- closed-loop degradation vs fault rate");
     ReportGuard report("faults");
@@ -206,4 +207,10 @@ main()
                 "acceptance bound the fault tests enforce).\n",
                 rsv_fault_free);
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

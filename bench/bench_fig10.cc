@@ -17,6 +17,7 @@
 #include "bench_common.hh"
 
 #include "math/stats.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
@@ -78,8 +79,8 @@ foldedRsv(const Dataset &train_source,
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     banner("Figure 10 -- stepwise blindspot mitigation");
     ReportGuard report("fig10");
@@ -127,4 +128,10 @@ main()
                 "16.5%% -> 1.2%%]\n",
                 bars[0].rsv * 100, bars[3].rsv * 100);
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -7,12 +7,13 @@
  */
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
 
-int
-main()
+static int
+run()
 {
     banner("Figure 4 -- training-set diversity vs blindspots");
     ReportGuard report("fig4");
@@ -59,4 +60,10 @@ main()
     std::printf("\n(paper shape: PGOS std halves from 20 to 200+ "
                 "apps; RSV drops ~2.5x from 7.1%% to 2.8%%)\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

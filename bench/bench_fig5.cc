@@ -6,6 +6,7 @@
  */
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
@@ -36,8 +37,8 @@ runCv(const Dataset &full, const ScaleConfig &scale)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     banner("Figure 5 -- counter count & selection method");
     ReportGuard report("fig5");
@@ -80,4 +81,10 @@ main()
                 "PF-12 cuts RSV to 2.4%% vs 3.6%% for the expert "
                 "set)\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

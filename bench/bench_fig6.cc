@@ -9,12 +9,13 @@
 #include "bench_common.hh"
 
 #include "uc/budget.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
 
-int
-main()
+static int
+run()
 {
     banner("Figure 6 -- MLP hyperparameter screening");
     ReportGuard report("fig6");
@@ -74,4 +75,10 @@ main()
     std::printf("\n(paper: 3-layer nets dominate the low-variance "
                 "frontier; 8/8/4 picked at 678 ops <= 781 budget)\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -9,12 +9,13 @@
 #include <cstring>
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     banner("Figure 7 -- ideal low-power residency per benchmark");
     ReportGuard report("fig7");
@@ -59,4 +60,11 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return psca::runner::guardedMain(
+        [argc, argv] { return run(argc, argv); });
 }

@@ -7,6 +7,7 @@
  */
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
@@ -32,8 +33,8 @@ report(const char *name, const ExperimentContext &ctx,
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     banner("Figure 8 -- PPW and RSV across adaptation models");
     ReportGuard run_report("fig8");
@@ -74,4 +75,10 @@ main()
                 "+11.8%%/0.3%% | CHARSTAR +18.4%%/10.9%% | Best MLP "
                 "+20.6%%/1.5%% | Best RF +21.9%%/0.3%%)\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -5,12 +5,13 @@
  */
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
 
-int
-main()
+static int
+run()
 {
     banner("Figure 9 -- per-benchmark CHARSTAR vs Best RF");
     ReportGuard report("fig9");
@@ -46,4 +47,10 @@ main()
     std::printf("\n(paper: CHARSTAR +18.4%% with roms_s at 77.8%% "
                 "RSV; Best RF +21.9%% with RSV < 1%% everywhere)\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -25,6 +25,7 @@
 #include "trace/decoded.hh"
 #include "trace/generator.hh"
 #include "uc/compilers.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 
@@ -434,8 +435,8 @@ recordReplayThroughput()
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     // Destructs last: the report captures the speedup gauges below.
     bench::ReportGuard report("micro");
@@ -447,4 +448,11 @@ main(int argc, char **argv)
     recordReplayThroughput();
     recordCrossvalSpeedup();
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return psca::runner::guardedMain(
+        [argc, argv] { return run(argc, argv); });
 }

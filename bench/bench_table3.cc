@@ -12,6 +12,7 @@
 #include "ml/linear.hh"
 #include "ml/svm.hh"
 #include "uc/budget.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
@@ -28,8 +29,8 @@ struct ZooEntry
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     banner("Table 3 -- microcontroller budgets and the model zoo");
     ReportGuard report("table3");
@@ -171,4 +172,10 @@ main()
                 "chi2 SVM ~121k | RF16 1,074 | RF8 538 |\n MLP-8/8/4 "
                 "678 | CHARSTAR 292 | linear SVM 412 | LR 158)\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

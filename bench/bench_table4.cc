@@ -6,12 +6,13 @@
  */
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
 
-int
-main()
+static int
+run()
 {
     banner("Table 4 -- PF Counter Selection result");
     ReportGuard report("table4");
@@ -64,4 +65,10 @@ main()
     std::printf("\n(ranked %zu counters total)\n",
                 res.selected.size());
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

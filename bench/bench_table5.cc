@@ -8,12 +8,13 @@
  */
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
 
-int
-main()
+static int
+run()
 {
     banner("Table 5 -- per-SLA retraining (Sec. 7.3)");
     ReportGuard report("table5");
@@ -38,4 +39,10 @@ main()
                     row.rsv, row.ppw, row.perf);
     }
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -8,12 +8,13 @@
  */
 
 #include "bench_common.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 using namespace psca::bench;
 
-int
-main()
+static int
+run()
 {
     banner("Table 6 -- app-specific retraining (Sec. 7.3)");
     ReportGuard report("table6");
@@ -79,4 +80,10 @@ main()
                 improved, apps_counted,
                 apps_counted ? sum_delta / apps_counted : 0.0);
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -12,6 +12,7 @@
 #include "obs/report.hh"
 
 #include "core/pipeline.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 
@@ -48,8 +49,8 @@ makeForest(const Dataset &tune, uint64_t seed, int trees)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     obs::RunReportGuard report("app_specific_retraining_report");
     const BuildConfig build = buildConfig();
@@ -149,4 +150,10 @@ main()
                 "application while the general trees guard against "
                 "drift (paper Table 6: up to +8.5%% PPW).\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

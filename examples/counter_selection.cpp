@@ -13,11 +13,12 @@
 
 #include "core/pf_selection.hh"
 #include "trace/corpus.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 
-int
-main()
+static int
+run()
 {
     obs::RunReportGuard report("counter_selection_report");
     // Record every telemetry counter over a 16-app sample.
@@ -61,4 +62,10 @@ main()
                 "alternate encodings and correlated events), so the "
                 "list above maximizes joint information content.\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

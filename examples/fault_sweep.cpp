@@ -27,6 +27,7 @@
 #include "core/pipeline.hh"
 #include "obs/report.hh"
 #include "obs/stats.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 
@@ -42,8 +43,8 @@ counterValue(const char *name)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     obs::RunReportGuard report("fault_sweep_report");
 
@@ -135,4 +136,10 @@ main()
     std::printf("\nfault.<site>.fires gauges from the last sweep "
                 "point land in the JSON report.\n");
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -20,11 +20,12 @@
 #include "obs/stats.hh"
 #include "uc/budget.hh"
 #include "uc/compilers.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 
-int
-main()
+static int
+run()
 {
     // Dumps the stat registry (phase tree, decision-latency
     // histogram, gate/transition counters) as JSON on exit.
@@ -107,4 +108,10 @@ main()
     std::printf("\nobservability (full JSON report on exit):\n");
     obs::StatRegistry::instance().dumpText(std::cout);
     return 0;
+}
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
 }

@@ -1,0 +1,747 @@
+#include "common/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+
+namespace psca {
+
+namespace {
+
+constexpr uint64_t kJournalMagic = 0x505343414a524e4cULL; // "PSCAJRNL"
+constexpr uint32_t kJournalVersion = 1;
+constexpr uint64_t kCkptMagic = 0x50534341434b5054ULL; // "PSCACKPT"
+constexpr uint32_t kCkptVersion = 1;
+
+/** Unit attempts before the exception propagates (requeue budget). */
+constexpr int kUnitAttempts = 3;
+
+/** Serialized journal frame payload size (fixed layout, v1). */
+constexpr size_t kFramePayload = 1 + 4 * 8;
+
+std::atomic<bool> g_stop{false};
+
+/** Whether Journal::instance() was ever constructed (globalStats()
+ *  must observe, never create, the process-wide journal). */
+std::atomic<bool> g_instanceCreated{false};
+
+/** fsync a descriptor, tolerating filesystems without fsync. */
+void
+fsyncFd(int fd)
+{
+    if (fd >= 0)
+        (void)::fsync(fd);
+}
+
+/** fsync an already-closed file by path (after rename: the dir). */
+void
+fsyncPath(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        fsyncFd(fd);
+        ::close(fd);
+    }
+}
+
+/** Unique temp sibling for staging (per thread, per use). */
+std::string
+tempSibling(const std::string &path)
+{
+    static std::atomic<uint64_t> serial{0};
+    const uint64_t tid = std::hash<std::thread::id>{}(
+                             std::this_thread::get_id()) &
+        0xffffff;
+    return path + ".tmp." + std::to_string(tid) + "." +
+        std::to_string(serial.fetch_add(1, std::memory_order_relaxed));
+}
+
+} // namespace
+
+void
+requestStop()
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+bool
+stopRequested()
+{
+    return g_stop.load(std::memory_order_relaxed);
+}
+
+void
+clearStopRequest()
+{
+    g_stop.store(false, std::memory_order_relaxed);
+}
+
+int
+retryBackoffMs(uint64_t key, int attempt)
+{
+    const uint64_t base = 1ULL << attempt;
+    Rng rng(taskSeed(mixSeeds(FaultRegistry::instance().seed(), key),
+                     static_cast<uint64_t>(attempt)));
+    return static_cast<int>(base + rng.below(base));
+}
+
+void
+retryBackoffSleep(uint64_t key, int attempt)
+{
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retryBackoffMs(key, attempt)));
+}
+
+bool
+writeArtifactFile(const std::string &path,
+                  const std::function<void(BinaryWriter &)> &fill,
+                  uint64_t *content_sum)
+{
+    const std::string tmp = tempSibling(path);
+    uint64_t sum = 0;
+    {
+        BinaryWriter out(tmp);
+        fill(out);
+        sum = out.checksum();
+        if (!out.good()) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    // Make the temp durable before publishing the name: a crash
+    // straddling the rename must never expose an empty or partial
+    // file under the final path.
+    fsyncPath(tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    if (content_sum != nullptr)
+        *content_sum = sum;
+    return true;
+}
+
+ArtifactTxn::~ArtifactTxn()
+{
+    if (!done_)
+        abort();
+}
+
+BinaryWriter &
+ArtifactTxn::stage(const std::string &final_path)
+{
+    Staged s;
+    s.finalPath = final_path;
+    s.tmpPath = tempSibling(final_path);
+    s.writer = std::make_unique<BinaryWriter>(s.tmpPath);
+    staged_.push_back(std::move(s));
+    return *staged_.back().writer;
+}
+
+bool
+ArtifactTxn::commit()
+{
+    done_ = true;
+    // Phase one: every staged stream must have fully reached its temp
+    // file before any final name changes.
+    bool ok = true;
+    for (auto &s : staged_)
+        ok = s.writer->good() && ok;
+    for (auto &s : staged_)
+        s.writer.reset(); // close
+    if (!ok) {
+        std::error_code ec;
+        for (auto &s : staged_)
+            std::filesystem::remove(s.tmpPath, ec);
+        staged_.clear();
+        return false;
+    }
+    for (auto &s : staged_)
+        fsyncPath(s.tmpPath);
+    // Phase two: publish. A crash mid-sequence leaves a prefix of
+    // complete files — never a torn one.
+    for (auto &s : staged_) {
+        std::error_code ec;
+        std::filesystem::rename(s.tmpPath, s.finalPath, ec);
+        if (ec) {
+            std::filesystem::remove(s.tmpPath, ec);
+            ok = false;
+        }
+    }
+    staged_.clear();
+    return ok;
+}
+
+void
+ArtifactTxn::abort()
+{
+    done_ = true;
+    for (auto &s : staged_) {
+        s.writer.reset();
+        std::error_code ec;
+        std::filesystem::remove(s.tmpPath, ec);
+    }
+    staged_.clear();
+}
+
+Journal &
+Journal::instance()
+{
+    static Journal journal(env::stringOr("PSCA_CACHE_DIR",
+                                         "psca_cache"),
+                           env::flagOr("PSCA_JOURNAL", true),
+                           env::flagOr("PSCA_RESUME", true));
+    g_instanceCreated.store(true, std::memory_order_release);
+    return journal;
+}
+
+Journal::Journal(const std::string &dir, bool enabled, bool resume)
+    : dir_(dir), enabled_(enabled)
+{
+    if (enabled_)
+        openAndReplay(resume);
+}
+
+Journal::~Journal()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+        fsyncFd(fd_);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+uint64_t
+Journal::scopeHash(const std::string &scope)
+{
+    return fnv1aUpdate(kFnv1aBasis, scope.data(), scope.size());
+}
+
+std::string
+Journal::journalPath() const
+{
+    return dir_ + "/journal.psj";
+}
+
+std::string
+Journal::unitPath(uint64_t scope_h, uint64_t config_h,
+                  uint64_t unit) const
+{
+    char name[96];
+    std::snprintf(name, sizeof(name),
+                  "/ckpt_%016llx_%016llx_%llu.bin",
+                  static_cast<unsigned long long>(scope_h),
+                  static_cast<unsigned long long>(config_h),
+                  static_cast<unsigned long long>(unit));
+    return dir_ + name;
+}
+
+namespace {
+
+/** Encode one frame: [len][payload][fnv1a(payload)], one write(). */
+void
+encodeFrame(const Journal::Entry &e, std::vector<uint8_t> &buf)
+{
+    uint8_t payload[kFramePayload];
+    payload[0] = static_cast<uint8_t>(e.type);
+    auto put64 = [&payload](size_t off, uint64_t v) {
+        std::memcpy(payload + off, &v, sizeof(v));
+    };
+    put64(1, e.scopeHash);
+    put64(9, e.configHash);
+    put64(17, e.unitIndex);
+    put64(25, e.artifactSum);
+    const uint32_t len = static_cast<uint32_t>(sizeof(payload));
+    const uint64_t sum =
+        fnv1aUpdate(kFnv1aBasis, payload, sizeof(payload));
+    buf.resize(sizeof(len) + sizeof(payload) + sizeof(sum));
+    std::memcpy(buf.data(), &len, sizeof(len));
+    std::memcpy(buf.data() + sizeof(len), payload, sizeof(payload));
+    std::memcpy(buf.data() + sizeof(len) + sizeof(payload), &sum,
+                sizeof(sum));
+}
+
+/**
+ * Replay every well-formed frame of an open journal stream. Returns
+ * the byte offset just past the last good frame; entries beyond it
+ * (a torn tail) are the caller's to truncate.
+ */
+uint64_t
+replayFrames(std::ifstream &in, uint64_t file_size,
+             const std::function<void(const Journal::Entry &)> &emit)
+{
+    uint64_t good_end = static_cast<uint64_t>(in.tellg());
+    for (;;) {
+        uint32_t len = 0;
+        in.read(reinterpret_cast<char *>(&len), sizeof(len));
+        if (!in || len != kFramePayload)
+            break;
+        if (good_end + sizeof(len) + len + 8 > file_size)
+            break;
+        uint8_t payload[kFramePayload];
+        in.read(reinterpret_cast<char *>(payload), len);
+        uint64_t stored = 0;
+        in.read(reinterpret_cast<char *>(&stored), sizeof(stored));
+        if (!in ||
+            stored != fnv1aUpdate(kFnv1aBasis, payload, len))
+            break;
+        Journal::Entry e;
+        e.type = static_cast<Journal::EntryType>(payload[0]);
+        auto get64 = [&payload](size_t off) {
+            uint64_t v = 0;
+            std::memcpy(&v, payload + off, sizeof(v));
+            return v;
+        };
+        e.scopeHash = get64(1);
+        e.configHash = get64(9);
+        e.unitIndex = get64(17);
+        e.artifactSum = get64(25);
+        if (e.type != Journal::EntryType::UnitDone &&
+            e.type != Journal::EntryType::ScopeRetired)
+            break;
+        emit(e);
+        good_end += sizeof(len) + len + sizeof(stored);
+    }
+    return good_end;
+}
+
+} // namespace
+
+void
+Journal::openAndReplay(bool resume)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    const std::string path = journalPath();
+
+    bool fresh = true;
+    if (resume && std::filesystem::exists(path, ec)) {
+        std::ifstream in(path, std::ios::binary);
+        uint64_t size = 0;
+        if (in) {
+            in.seekg(0, std::ios::end);
+            size = static_cast<uint64_t>(in.tellg());
+            in.seekg(0, std::ios::beg);
+        }
+        uint64_t magic = 0;
+        uint32_t version = 0;
+        in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+        in.read(reinterpret_cast<char *>(&version), sizeof(version));
+        if (!in || magic != kJournalMagic ||
+            version != kJournalVersion)
+        {
+            // Not a torn tail: the journal itself is unusable. Move
+            // it aside and rebuild from scratch.
+            quarantineFile(path, "journal header corrupt");
+            quarantines_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            std::vector<Entry> replayed;
+            const uint64_t good_end = replayFrames(
+                in, size,
+                [&replayed](const Entry &e) {
+                    replayed.push_back(e);
+                });
+            in.close();
+            if (good_end < size) {
+                // The expected SIGKILL artifact: a frame cut mid-
+                // write. Drop the tail, keep everything before it.
+                std::filesystem::resize_file(path, good_end, ec);
+                tornTails_.fetch_add(1, std::memory_order_relaxed);
+                warn("journal '", path, "': torn tail truncated at ",
+                     good_end, " of ", size, " bytes");
+            }
+            for (const Entry &e : replayed) {
+                const ScopeKey key{e.scopeHash, e.configHash};
+                if (e.type == EntryType::UnitDone) {
+                    entries_[key][e.unitIndex] = e.artifactSum;
+                } else {
+                    // Retired: the per-unit artifacts are superseded
+                    // by a whole-scope artifact; forget the units.
+                    entries_.erase(key);
+                }
+            }
+            fresh = false;
+        }
+    } else if (std::filesystem::exists(path, ec)) {
+        // PSCA_RESUME=0: start over, discarding journal + units.
+        std::filesystem::remove(path, ec);
+    }
+
+    if (fresh) {
+        const std::string tmp = tempSibling(path);
+        {
+            std::ofstream out(tmp, std::ios::binary);
+            out.write(reinterpret_cast<const char *>(&kJournalMagic),
+                      sizeof(kJournalMagic));
+            out.write(
+                reinterpret_cast<const char *>(&kJournalVersion),
+                sizeof(kJournalVersion));
+            if (!out) {
+                warn("journal '", path,
+                     "': cannot initialize; journaling disabled for "
+                     "this run");
+                std::filesystem::remove(tmp, ec);
+                enabled_ = false;
+                return;
+            }
+        }
+        fsyncPath(tmp);
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            std::filesystem::remove(tmp, ec);
+            enabled_ = false;
+            return;
+        }
+    }
+
+    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd_ < 0) {
+        warn("journal '", path, "': cannot open for append (",
+             std::strerror(errno), "); journaling disabled");
+        enabled_ = false;
+    }
+}
+
+void
+Journal::appendEntry(const Entry &entry)
+{
+    std::vector<uint8_t> frame;
+    encodeFrame(entry, frame);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0)
+        return;
+    // One write() per frame into an O_APPEND descriptor: frames from
+    // concurrent units (or even concurrent processes sharing the
+    // cache dir) interleave whole, never torn against each other.
+    ssize_t wrote =
+        ::write(fd_, frame.data(), frame.size());
+    if (wrote != static_cast<ssize_t>(frame.size())) {
+        warn("journal '", journalPath(),
+             "': short append; entry dropped (unit will re-execute "
+             "on resume)");
+        return;
+    }
+    fsyncFd(fd_);
+    if (entry.type == EntryType::UnitDone) {
+        entries_[ScopeKey{entry.scopeHash, entry.configHash}]
+                [entry.unitIndex] = entry.artifactSum;
+    }
+}
+
+size_t
+Journal::unitsDone(const std::string &scope, uint64_t config_h) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it =
+        entries_.find(ScopeKey{scopeHash(scope), config_h});
+    return it == entries_.end() ? 0 : it->second.size();
+}
+
+void
+Journal::retireScope(const std::string &scope, uint64_t config_h)
+{
+    if (!enabled_)
+        return;
+    const uint64_t scope_h = scopeHash(scope);
+    std::map<uint64_t, uint64_t> units;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(ScopeKey{scope_h, config_h});
+        if (it == entries_.end())
+            return;
+        units = std::move(it->second);
+        entries_.erase(it);
+    }
+    Entry e;
+    e.type = EntryType::ScopeRetired;
+    e.scopeHash = scope_h;
+    e.configHash = config_h;
+    e.unitIndex = units.size();
+    appendEntry(e);
+    std::error_code ec;
+    for (const auto &[unit, sum] : units)
+        std::filesystem::remove(unitPath(scope_h, config_h, unit),
+                                ec);
+    scopesRetired_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+Journal::verifyAndLoadUnit(
+    uint64_t scope_h, uint64_t config_h, uint64_t unit,
+    uint64_t expect_sum,
+    const std::function<bool(size_t, BinaryReader &)> &load_unit)
+{
+    const std::string path = unitPath(scope_h, config_h, unit);
+    // Bind the artifact to its journal entry first: the journaled
+    // checksum covers every byte before the trailer word, so a stale
+    // or swapped file — even one internally consistent, with a valid
+    // trailer of its own — must not satisfy this entry.
+    {
+        std::error_code ec;
+        const uint64_t total = std::filesystem::file_size(path, ec);
+        if (ec)
+            return false; // vanished checkpoint: just re-execute
+        if (total < sizeof(uint64_t)) {
+            quarantineFile(path, "checkpoint shorter than a trailer");
+            return false;
+        }
+        std::ifstream raw(path, std::ios::binary);
+        if (!raw)
+            return false;
+        // The journaled sum covers every byte before the 8-byte
+        // trailer word.
+        uint64_t sum = kFnv1aBasis;
+        uint64_t left = total - sizeof(uint64_t);
+        char buf[65536];
+        while (left > 0 && raw.read(buf, static_cast<std::streamsize>(
+                               std::min<uint64_t>(left, sizeof(buf))))) {
+            sum = fnv1aUpdate(sum, buf,
+                              static_cast<size_t>(raw.gcount()));
+            left -= static_cast<uint64_t>(raw.gcount());
+        }
+        if (left != 0 || sum != expect_sum) {
+            quarantineFile(path,
+                           "checkpoint differs from journaled hash");
+            return false;
+        }
+    }
+    BinaryReader in(path);
+    if (!in.good())
+        return false;
+    const HeaderCheck hdr =
+        readFileHeader(in, kCkptMagic, kCkptVersion);
+    if (hdr != HeaderCheck::Ok ||
+        in.get<uint64_t>() != scope_h ||
+        in.get<uint64_t>() != config_h ||
+        in.get<uint64_t>() != unit || !in.good())
+    {
+        quarantineFile(path, "checkpoint key/header mismatch");
+        return false;
+    }
+    if (!load_unit(static_cast<size_t>(unit), in) ||
+        !in.verifyChecksumTrailer())
+    {
+        quarantineFile(path, "checkpoint payload corrupt");
+        return false;
+    }
+    return true;
+}
+
+void
+Journal::runCheckpointed(
+    const std::string &scope, uint64_t config_h, size_t n,
+    const std::function<bool(size_t, BinaryReader &)> &load_unit,
+    const std::function<void(size_t)> &exec_unit,
+    const std::function<void(size_t, BinaryWriter &)> &save_unit)
+{
+    auto &pool = ThreadPool::instance();
+    if (!enabled_) {
+        pool.parallelFor(n, exec_unit);
+        return;
+    }
+    active_.store(true, std::memory_order_relaxed);
+    const uint64_t scope_h = scopeHash(scope);
+
+    // Partition into journaled (verify + load) and pending indices.
+    std::map<uint64_t, uint64_t> done;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(ScopeKey{scope_h, config_h});
+        if (it != entries_.end())
+            done = it->second;
+    }
+    std::vector<size_t> pending;
+    size_t skipped = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const auto it = done.find(i);
+        if (it != done.end() &&
+            verifyAndLoadUnit(scope_h, config_h, i, it->second,
+                              load_unit))
+        {
+            ++skipped;
+            continue;
+        }
+        if (it != done.end()) {
+            // Journaled but the artifact failed verification (or the
+            // recorded checksum disagreed): degrade to re-execution.
+            verifyFailures_.fetch_add(1, std::memory_order_relaxed);
+        }
+        pending.push_back(i);
+    }
+    unitsSkipped_.fetch_add(skipped, std::memory_order_relaxed);
+    if (skipped > 0)
+        inform("resume: scope '", scope, "' skipping ", skipped, "/",
+               n, " completed units");
+
+    std::atomic<bool> interrupted{false};
+    pool.parallelFor(pending.size(), [&](size_t k) {
+        const size_t i = pending[k];
+        if (stopRequested()) {
+            interrupted.store(true, std::memory_order_relaxed);
+            return;
+        }
+        const uint64_t token = [&] {
+            std::lock_guard<std::mutex> lock(mu_);
+            const uint64_t t = nextToken_++;
+            inFlight_[t] = InFlight{
+                scope, static_cast<uint64_t>(i),
+                std::chrono::steady_clock::now()};
+            return t;
+        }();
+        struct InFlightGuard
+        {
+            Journal *j;
+            uint64_t token;
+            ~InFlightGuard()
+            {
+                std::lock_guard<std::mutex> lock(j->mu_);
+                j->inFlight_.erase(token);
+            }
+        } guard{this, token};
+
+        // Soft-failure requeue: a unit that throws is retried with a
+        // deterministic backoff (a taskSeed substream, satellite of
+        // the bounded-IO-retry scheme) before the exception is
+        // allowed to take down the region.
+        const uint64_t retry_key =
+            mixSeeds(mixSeeds(scope_h, config_h),
+                     static_cast<uint64_t>(i));
+        for (int attempt = 0;; ++attempt) {
+            try {
+                exec_unit(i);
+                break;
+            } catch (const RunInterrupted &) {
+                throw;
+            } catch (const std::exception &e) {
+                if (attempt + 1 >= kUnitAttempts)
+                    throw;
+                unitRetries_.fetch_add(1,
+                                       std::memory_order_relaxed);
+                warn("unit ", i, " of scope '", scope,
+                     "' failed (", e.what(), "); requeued (attempt ",
+                     attempt + 2, "/", kUnitAttempts, ")");
+                retryBackoffSleep(retry_key, attempt);
+            }
+        }
+
+        uint64_t sum = 0;
+        const bool stored = writeArtifactFile(
+            unitPath(scope_h, config_h, i),
+            [&](BinaryWriter &out) {
+                writeFileHeader(out, kCkptMagic, kCkptVersion);
+                out.put(scope_h);
+                out.put(config_h);
+                out.put(static_cast<uint64_t>(i));
+                save_unit(i, out);
+                out.putChecksumTrailer();
+            },
+            &sum);
+        if (stored) {
+            Entry e;
+            e.type = EntryType::UnitDone;
+            e.scopeHash = scope_h;
+            e.configHash = config_h;
+            e.unitIndex = i;
+            e.artifactSum = sum;
+            appendEntry(e);
+        } else {
+            // Checkpointing is best-effort: the unit's in-memory
+            // result is still valid, it just cannot be skipped on a
+            // future resume.
+            warn("checkpoint for unit ", i, " of scope '", scope,
+                 "' failed to persist; resume will recompute it");
+        }
+        unitsExecuted_.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    if (interrupted.load(std::memory_order_relaxed) ||
+        stopRequested())
+    {
+        throw RunInterrupted("scope '" + scope +
+                             "' interrupted; completed units are "
+                             "journaled for resume");
+    }
+}
+
+JournalStats
+Journal::stats() const
+{
+    JournalStats s;
+    s.active = active_.load(std::memory_order_relaxed);
+    s.unitsSkipped = unitsSkipped_.load(std::memory_order_relaxed);
+    s.unitsExecuted = unitsExecuted_.load(std::memory_order_relaxed);
+    s.unitRetries = unitRetries_.load(std::memory_order_relaxed);
+    s.verifyFailures =
+        verifyFailures_.load(std::memory_order_relaxed);
+    s.tornTails = tornTails_.load(std::memory_order_relaxed);
+    s.quarantines = quarantines_.load(std::memory_order_relaxed);
+    s.scopesRetired = scopesRetired_.load(std::memory_order_relaxed);
+    s.softTimeouts = softTimeouts_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Journal::noteSoftTimeout()
+{
+    softTimeouts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+JournalStats
+Journal::globalStats()
+{
+    // Observe only: a report writer asking for stats must not create
+    // the journal (or its file) in a process that never used it.
+    if (!g_instanceCreated.load(std::memory_order_acquire))
+        return JournalStats{};
+    return instance().stats();
+}
+
+size_t
+Journal::countEntries(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;
+    in.seekg(0, std::ios::end);
+    const uint64_t size = static_cast<uint64_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!in || magic != kJournalMagic || version != kJournalVersion)
+        return 0;
+    size_t count = 0;
+    replayFrames(in, size, [&count](const Entry &) { ++count; });
+    return count;
+}
+
+void
+Journal::forEachInFlight(
+    const std::function<void(const std::string &, uint64_t, double)>
+        &fn) const
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[token, unit] : inFlight_) {
+        const double secs =
+            std::chrono::duration<double>(now - unit.start).count();
+        fn(unit.scope, unit.unit, secs);
+    }
+}
+
+} // namespace psca

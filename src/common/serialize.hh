@@ -268,24 +268,41 @@ readFileHeader(BinaryReader &r, uint64_t magic, uint32_t version)
     return HeaderCheck::Ok;
 }
 
+/** What quarantineFile() did, for caller-side accounting. */
+struct QuarantineResult
+{
+    std::string dest; //!< where the bad bytes went ("" if removed)
+    bool collided = false; //!< a prior quarantined artifact existed
+};
+
 /**
- * Move a corrupt artifact aside (to "<path>.quarantined") so the
- * rebuild cannot collide with it and the bad bytes stay available for
- * inspection. Best-effort: falls back to remove() if rename fails.
+ * Move a corrupt artifact aside (to "<path>.quarantined", or the
+ * first free "<path>.quarantined.N") so the rebuild cannot collide
+ * with it and the bad bytes stay available for inspection. Earlier
+ * quarantined artifacts are never overwritten — repeated corruption
+ * of the same path accumulates numbered evidence files, and the
+ * caller can count `collided` results. Best-effort: falls back to
+ * remove() if rename fails.
  */
-inline void
+inline QuarantineResult
 quarantineFile(const std::string &path, const char *reason)
 {
-    const std::string dest = path + ".quarantined";
-    std::remove(dest.c_str());
-    if (std::rename(path.c_str(), dest.c_str()) == 0) {
-        warn("quarantined '", path, "' (", reason, ") -> '", dest,
-             "'");
+    QuarantineResult res;
+    res.dest = path + ".quarantined";
+    for (int seq = 1; std::ifstream(res.dest).good(); ++seq) {
+        res.collided = true;
+        res.dest = path + ".quarantined." + std::to_string(seq);
+    }
+    if (std::rename(path.c_str(), res.dest.c_str()) == 0) {
+        warn("quarantined '", path, "' (", reason, ") -> '",
+             res.dest, "'");
     } else {
         std::remove(path.c_str());
         warn("removed corrupt '", path, "' (", reason,
              "; quarantine rename failed)");
+        res.dest.clear();
     }
+    return res;
 }
 
 } // namespace psca

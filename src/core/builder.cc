@@ -5,6 +5,7 @@
 
 #include "common/env.hh"
 #include "common/fault.hh"
+#include "common/journal.hh"
 #include "common/parallel.hh"
 #include "common/serialize.hh"
 #include "obs/phase.hh"
@@ -229,10 +230,14 @@ recordCorpus(const std::vector<Workload> &workloads,
     // with a named reason and falls through to a full re-record.
     {
         auto corrupt = [&](const char *reason) {
-            quarantineFile(path, reason);
+            const QuarantineResult q = quarantineFile(path, reason);
             obs::StatRegistry::instance()
                 .counter("record.cache_quarantined")
                 .add();
+            if (q.collided)
+                obs::StatRegistry::instance()
+                    .counter("record.cache_quarantine_collisions")
+                    .add();
         };
         BinaryReader in(path);
         if (in.good()) {
@@ -272,42 +277,52 @@ recordCorpus(const std::vector<Workload> &workloads,
            ThreadPool::instance().numThreads(),
            " threads; cached to ", path, ")");
     // Each trace records independently (fresh core, fresh generator,
-    // no RNG shared across tasks), so the fan-out is a parallelMap
-    // into index slots: the cache file and every consumer see records
-    // in workload order regardless of thread count.
+    // no RNG shared across tasks), so the fan-out maps into index
+    // slots: the cache file and every consumer see records in
+    // workload order regardless of thread count. The map is
+    // checkpointed — every completed record is journaled under
+    // (tag, config hash), so a killed run resumes with only the
+    // remaining workloads and still produces byte-identical records.
+    const std::string scope = "corpus." + cache_tag;
     std::atomic<size_t> progress{0};
-    std::vector<TraceRecord> records =
-        ThreadPool::instance().parallelMap<TraceRecord>(
-            workloads.size(), [&](size_t i) {
-                TraceRecord r = recordTrace(workloads[i], cfg,
-                                            app_ids[i],
-                                            static_cast<uint32_t>(i));
-                const size_t done =
-                    progress.fetch_add(1, std::memory_order_relaxed) +
-                    1;
-                if (done % 200 == 0)
-                    inform("  ", done, "/", workloads.size(),
-                           " traces");
-                return r;
-            });
+    std::vector<TraceRecord> records = checkpointedMap<TraceRecord>(
+        scope, hash, workloads.size(),
+        [](BinaryWriter &w, const TraceRecord &r) {
+            writeRecord(w, r);
+        },
+        [](BinaryReader &in) { return readRecord(in); },
+        [&](size_t i) {
+            TraceRecord r = recordTrace(workloads[i], cfg,
+                                        app_ids[i],
+                                        static_cast<uint32_t>(i));
+            const size_t done =
+                progress.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (done % 200 == 0)
+                inform("  ", done, "/", workloads.size(), " traces");
+            return r;
+        });
 
-    BinaryWriter out(path);
-    writeFileHeader(out, kCacheMagic, kCacheVersion);
-    out.put(hash);
-    out.put<uint64_t>(records.size());
-    for (const auto &r : records)
-        writeRecord(out, r);
-    out.putChecksumTrailer();
-    if (!out.good()) {
-        // Surface the short write and drop the partial file: the
-        // next run must re-record, not deserialize a truncation.
-        warn("record cache '", path,
-             "': write failed; removing partial file");
+    const bool stored = writeArtifactFile(path, [&](BinaryWriter &out) {
+        writeFileHeader(out, kCacheMagic, kCacheVersion);
+        out.put(hash);
+        out.put<uint64_t>(records.size());
+        for (const auto &r : records)
+            writeRecord(out, r);
+        out.putChecksumTrailer();
+    });
+    if (!stored) {
+        // Surface the short write: the transactional store already
+        // dropped the partial temp, so the next run re-records
+        // rather than deserializing a truncation.
+        warn("record cache '", path, "': write failed");
         obs::StatRegistry::instance()
             .counter("record.cache_write_failures")
             .add();
-        std::error_code ec;
-        std::filesystem::remove(path, ec);
+    } else {
+        // The whole-corpus cache now supersedes the per-record
+        // checkpoints; retiring the scope deletes them and compacts
+        // the journal on the next replay.
+        Journal::instance().retireScope(scope, hash);
     }
     return records;
 }

@@ -5,12 +5,64 @@
 #include <numeric>
 #include <optional>
 
+#include "common/journal.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "math/stats.hh"
 #include "obs/phase.hh"
 
 namespace psca {
+
+namespace {
+
+/** Exact round-trip serialization of one fold's (optional) result. */
+void
+writeFoldResult(BinaryWriter &w, const std::optional<EvalResult> &r)
+{
+    w.put<uint8_t>(r.has_value() ? 1 : 0);
+    if (!r)
+        return;
+    w.put(r->confusion.truePositive);
+    w.put(r->confusion.falsePositive);
+    w.put(r->confusion.trueNegative);
+    w.put(r->confusion.falseNegative);
+    w.put(r->pgos);
+    w.put(r->rsv);
+}
+
+std::optional<EvalResult>
+readFoldResult(BinaryReader &in)
+{
+    if (in.get<uint8_t>() == 0)
+        return std::nullopt;
+    EvalResult r;
+    r.confusion.truePositive = in.get<uint64_t>();
+    r.confusion.falsePositive = in.get<uint64_t>();
+    r.confusion.trueNegative = in.get<uint64_t>();
+    r.confusion.falseNegative = in.get<uint64_t>();
+    r.pgos = in.get<double>();
+    r.rsv = in.get<double>();
+    return r;
+}
+
+/** Everything a fold result depends on besides the factory tag. */
+uint64_t
+crossValConfigHash(const Dataset &data, const CrossValOptions &opts)
+{
+    uint64_t h = data.contentHash();
+    auto mix = [&h](uint64_t v) { h = mixSeeds(h, v); };
+    mix(static_cast<uint64_t>(opts.folds));
+    mix(static_cast<uint64_t>(opts.tuneFraction * 1e9));
+    mix(opts.maxTuneApps);
+    mix(opts.maxTuneSamples);
+    mix(opts.rsvWindow);
+    mix(opts.calibrate ? 1 : 0);
+    mix(static_cast<uint64_t>(opts.targetRsv * 1e9));
+    mix(opts.seed);
+    return h;
+}
+
+} // namespace
 
 FoldSplit
 appLevelSplit(const Dataset &data, double tune_fraction, uint64_t seed,
@@ -102,11 +154,7 @@ crossValidate(const Dataset &data, const ModelFactory &factory,
     // folds train and evaluate concurrently and the aggregation below
     // (in fold order, skipped folds preserved as nullopt) reproduces
     // the serial summary bit for bit.
-    std::vector<std::optional<EvalResult>> fold_results =
-        ThreadPool::instance()
-            .parallelMap<std::optional<EvalResult>>(
-                static_cast<size_t>(opts.folds),
-                [&](size_t fold) -> std::optional<EvalResult> {
+    auto run_fold = [&](size_t fold) -> std::optional<EvalResult> {
         const uint64_t fold_seed = taskSeed(opts.seed, fold);
         FoldSplit split = appLevelSplit(data, opts.tuneFraction,
                                         fold_seed, opts.maxTuneApps);
@@ -132,7 +180,26 @@ crossValidate(const Dataset &data, const ModelFactory &factory,
         }
 
         return evaluateModel(*model, valid, opts.rsvWindow);
-    });
+    };
+
+    // With a checkpoint tag, every completed fold is journaled under
+    // (tag, dataset + options hash): an interrupted sweep re-enters
+    // with only the remaining folds. Untagged calls are not
+    // checkpointed — the model factory is an arbitrary closure, so
+    // only the caller can name the sweep point it represents.
+    std::vector<std::optional<EvalResult>> fold_results;
+    if (!opts.checkpointTag.empty()) {
+        fold_results = checkpointedMap<std::optional<EvalResult>>(
+            "crossval." + opts.checkpointTag,
+            crossValConfigHash(data, opts),
+            static_cast<size_t>(opts.folds), writeFoldResult,
+            readFoldResult, run_fold);
+    } else {
+        fold_results =
+            ThreadPool::instance()
+                .parallelMap<std::optional<EvalResult>>(
+                    static_cast<size_t>(opts.folds), run_fold);
+    }
 
     for (const auto &eval : fold_results) {
         if (!eval)

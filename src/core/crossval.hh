@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "core/metrics.hh"
 #include "ml/model.hh"
@@ -74,6 +75,15 @@ struct CrossValOptions
     bool calibrate = true;
     double targetRsv = 0.01;
     uint64_t seed = 7;
+    /**
+     * Non-empty: checkpoint each fold under this tag, so an
+     * interrupted sweep resumes fold-by-fold. The tag must uniquely
+     * identify the model factory and sweep point (the factory is a
+     * closure the journal cannot hash); the dataset content and the
+     * numeric options above are hashed automatically. Empty (the
+     * default): folds are not checkpointed.
+     */
+    std::string checkpointTag;
 };
 
 /** Aggregated cross-validation statistics. */

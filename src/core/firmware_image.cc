@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/journal.hh"
 #include "common/serialize.hh"
 #include "ml/linear.hh"
 #include "ml/mlp.hh"
@@ -15,12 +16,50 @@ namespace psca {
 namespace {
 
 constexpr uint64_t kMagic = 0x50534341465731ULL; // "PSCAFW1"
-constexpr uint32_t kFwVersion = 2; // 2: checksum trailer
+constexpr uint32_t kFwVersion = 3; // 3: padding-free instruction
+                                   //    encoding (byte-reproducible
+                                   //    images); 2: checksum trailer
+
+// UcInst carries an alignment hole after its uint8_t opcode, so a
+// raw putVector would serialize uninitialized padding and two images
+// compiled from the same model would differ byte-for-byte. Encode
+// each field instead: images must be reproducible so the resume and
+// fleet-publish paths can compare them with cmp.
+void
+writeCode(BinaryWriter &out, const std::vector<UcInst> &code)
+{
+    out.put<uint64_t>(code.size());
+    for (const UcInst &inst : code) {
+        out.put(inst.op);
+        out.put(inst.dst);
+        out.put(inst.a);
+        out.put(inst.b);
+        out.put(inst.imm);
+        out.put(inst.ia);
+        out.put(inst.ib);
+    }
+}
+
+std::vector<UcInst>
+readCode(BinaryReader &in)
+{
+    std::vector<UcInst> code(in.get<uint64_t>());
+    for (UcInst &inst : code) {
+        inst.op = in.get<UcOpcode>();
+        inst.dst = in.get<uint16_t>();
+        inst.a = in.get<uint16_t>();
+        inst.b = in.get<uint16_t>();
+        inst.imm = in.get<float>();
+        inst.ia = in.get<int32_t>();
+        inst.ib = in.get<int32_t>();
+    }
+    return code;
+}
 
 void
 writeSlot(BinaryWriter &out, const FirmwareSlot &slot)
 {
-    out.putVector(slot.program.code);
+    writeCode(out, slot.program.code);
     out.putVector(slot.program.mem);
     out.put(slot.program.numInputs);
     out.putVector(slot.scaler.mean);
@@ -32,7 +71,7 @@ FirmwareSlot
 readSlot(BinaryReader &in)
 {
     FirmwareSlot slot;
-    slot.program.code = in.getVector<UcInst>();
+    slot.program.code = readCode(in);
     slot.program.mem = in.getVector<float>();
     slot.program.numInputs = in.get<uint16_t>();
     slot.scaler.mean = in.getVector<float>();
@@ -59,9 +98,8 @@ compileAny(const Model &model)
 } // namespace
 
 void
-FirmwarePackage::save(const std::string &path) const
+FirmwarePackage::write(BinaryWriter &out) const
 {
-    BinaryWriter out(path);
     writeFileHeader(out, kMagic, kFwVersion);
     out.putString(name);
     out.put(granularityInstr);
@@ -69,7 +107,18 @@ FirmwarePackage::save(const std::string &path) const
     writeSlot(out, high);
     writeSlot(out, low);
     out.putChecksumTrailer();
-    PSCA_ASSERT(out.good(), "firmware image write failed");
+}
+
+void
+FirmwarePackage::save(const std::string &path) const
+{
+    // Transactional publish: a crash mid-save must never leave a
+    // torn image under the final name — load() treats corruption as
+    // fatal (an image is flashed, not rebuilt), so the rename is the
+    // commit point.
+    const bool ok = writeArtifactFile(
+        path, [this](BinaryWriter &out) { write(out); });
+    PSCA_ASSERT(ok, "firmware image write failed");
 }
 
 FirmwarePackage

@@ -22,6 +22,8 @@
 
 namespace psca {
 
+class BinaryWriter;
+
 /** One mode's firmware slot. */
 struct FirmwareSlot
 {
@@ -42,6 +44,14 @@ struct FirmwarePackage
 
     /** Serialize to a flashable file. */
     void save(const std::string &path) const;
+
+    /**
+     * Serialize the image (header through checksum trailer) into an
+     * open writer. Used by save() and by multi-image transactional
+     * publishes (ArtifactTxn), where several packages must appear
+     * under their final names together or not at all.
+     */
+    void write(BinaryWriter &out) const;
 
     /** Load a package; fatal on malformed images. */
     static FirmwarePackage load(const std::string &path);

@@ -4,11 +4,40 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/journal.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "math/stats.hh"
 
 namespace psca {
+
+namespace {
+
+/**
+ * Everything screen 1's per-record flag rows depend on: the selected
+ * mode's delta matrix of every record plus the screening threshold.
+ */
+uint64_t
+screenConfigHash(const std::vector<TraceRecord> &records,
+                 const PfConfig &cfg, CoreMode mode)
+{
+    uint64_t h = kFnv1aBasis;
+    const uint64_t thresh =
+        static_cast<uint64_t>(cfg.zeroFractionPerTrace * 1e9);
+    h = fnv1aUpdate(h, &thresh, sizeof(thresh));
+    const uint8_t m = static_cast<uint8_t>(mode);
+    h = fnv1aUpdate(h, &m, sizeof(m));
+    for (const auto &r : records) {
+        const auto &deltas =
+            mode == CoreMode::LowPower ? r.deltaLow : r.deltaHigh;
+        h = fnv1aUpdate(h, &r.numCounters, sizeof(r.numCounters));
+        h = fnv1aUpdate(h, deltas.data(),
+                        deltas.size() * sizeof(float));
+    }
+    return h;
+}
+
+} // namespace
 
 Matrix
 leadingEigenvectors(const Matrix &sym, size_t count, int iterations)
@@ -60,10 +89,19 @@ pfCounterSelection(const std::vector<TraceRecord> &records,
     // ---- Screen 1: low-activity counters ------------------------------
     // Scan each record independently (a 0/1 flag per counter), then
     // sum the per-record flag rows in record order; integer sums make
-    // the merge exact at any thread count.
+    // the merge exact at any thread count. Each record's flag row is
+    // checkpointed, so an interrupted PF selection resumes mid-screen.
     std::vector<std::vector<uint32_t>> flags_per_record =
-        ThreadPool::instance().parallelMap<std::vector<uint32_t>>(
-            records.size(), [&](size_t r) {
+        checkpointedMap<std::vector<uint32_t>>(
+            "pf.screen1", screenConfigHash(records, cfg, mode),
+            records.size(),
+            [](BinaryWriter &w, const std::vector<uint32_t> &flags) {
+                w.putVector(flags);
+            },
+            [](BinaryReader &in) {
+                return in.getVector<uint32_t>();
+            },
+            [&](size_t r) {
                 const auto &record = records[r];
                 std::vector<uint32_t> flags(width, 0);
                 const size_t n = record.numIntervals();

@@ -2,7 +2,22 @@
 
 #include <cmath>
 
+#include "common/serialize.hh"
+
 namespace psca {
+
+uint64_t
+Dataset::contentHash() const
+{
+    uint64_t h = fnv1aUpdate(kFnv1aBasis, &numFeatures,
+                             sizeof(numFeatures));
+    h = fnv1aUpdate(h, x.data(), x.size() * sizeof(float));
+    h = fnv1aUpdate(h, y.data(), y.size());
+    h = fnv1aUpdate(h, appId.data(), appId.size() * sizeof(uint32_t));
+    h = fnv1aUpdate(h, traceId.data(),
+                    traceId.size() * sizeof(uint32_t));
+    return h;
+}
 
 FeatureScaler
 FeatureScaler::fit(const Dataset &data)

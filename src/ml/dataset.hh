@@ -63,6 +63,13 @@ struct Dataset
         return out;
     }
 
+    /**
+     * FNV-1a over every sample byte (features, labels, grouping ids)
+     * plus the feature width: the stable content identity used to
+     * key checkpointed work that consumes this dataset.
+     */
+    uint64_t contentHash() const;
+
     /** Fraction of positive (gate) labels. */
     double
     positiveRate() const

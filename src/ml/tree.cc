@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/journal.hh"
 #include "common/parallel.hh"
 
 namespace psca {
@@ -177,6 +178,58 @@ DecisionTree::describe() const
     return os.str();
 }
 
+void
+DecisionTree::serialize(BinaryWriter &w) const
+{
+    w.put<uint64_t>(numInputs_);
+    w.put<int32_t>(cfg_.maxDepth);
+    w.put<uint64_t>(cfg_.minSamplesLeaf);
+    w.put<uint64_t>(cfg_.featureSubset);
+    w.put<uint64_t>(cfg_.seed);
+    w.put<uint64_t>(nodes_.size());
+    for (const Node &nd : nodes_) {
+        w.put(nd.feature);
+        w.put(nd.threshold);
+        w.put(nd.prob);
+        w.put(nd.left);
+        w.put(nd.right);
+    }
+}
+
+std::unique_ptr<DecisionTree>
+DecisionTree::deserialize(BinaryReader &in)
+{
+    std::unique_ptr<DecisionTree> tree(new DecisionTree());
+    tree->numInputs_ = in.get<uint64_t>();
+    tree->cfg_.maxDepth = in.get<int32_t>();
+    tree->cfg_.minSamplesLeaf = in.get<uint64_t>();
+    tree->cfg_.featureSubset = in.get<uint64_t>();
+    tree->cfg_.seed = in.get<uint64_t>();
+    const uint64_t n = in.get<uint64_t>();
+    tree->nodes_.reserve(n);
+    for (uint64_t i = 0; i < n && in.good(); ++i) {
+        Node nd;
+        nd.feature = in.get<int16_t>();
+        nd.threshold = in.get<float>();
+        nd.prob = in.get<float>();
+        nd.left = in.get<int32_t>();
+        nd.right = in.get<int32_t>();
+        // Child indices must stay inside the node array: a corrupt
+        // checkpoint must fail the load, not crash score().
+        if (nd.feature >= 0 &&
+            (nd.left < 0 || nd.right < 0 ||
+             static_cast<uint64_t>(nd.left) >= n ||
+             static_cast<uint64_t>(nd.right) >= n))
+        {
+            return nullptr;
+        }
+        tree->nodes_.push_back(nd);
+    }
+    if (!in.good() || tree->nodes_.size() != n || tree->nodes_.empty())
+        return nullptr;
+    return tree;
+}
+
 RandomForest::RandomForest(const Dataset &data, const ForestConfig &cfg)
 {
     const size_t n = data.numSamples();
@@ -191,20 +244,47 @@ RandomForest::RandomForest(const Dataset &data, const ForestConfig &cfg)
     // so trees fit concurrently into their slots and the ensemble is
     // identical at any thread count.
     trees_.resize(static_cast<size_t>(cfg.numTrees));
-    ThreadPool::instance().parallelFor(
-        static_cast<size_t>(cfg.numTrees), [&](size_t t) {
-            Rng rng = taskRng(cfg.seed ^ 0xf02e57ULL, t);
-            std::vector<size_t> sample(n); // bootstrap sample
-            for (auto &s : sample)
-                s = static_cast<size_t>(rng.below(n ? n : 1));
-            TreeConfig tc;
-            tc.maxDepth = cfg.maxDepth;
-            tc.minSamplesLeaf = cfg.minSamplesLeaf;
-            tc.featureSubset = subset;
-            tc.seed = mixSeeds(cfg.seed, t + 1);
-            trees_[t] =
-                std::make_unique<DecisionTree>(data, sample, tc);
-        });
+    auto fit_tree = [&](size_t t) {
+        Rng rng = taskRng(cfg.seed ^ 0xf02e57ULL, t);
+        std::vector<size_t> sample(n); // bootstrap sample
+        for (auto &s : sample)
+            s = static_cast<size_t>(rng.below(n ? n : 1));
+        TreeConfig tc;
+        tc.maxDepth = cfg.maxDepth;
+        tc.minSamplesLeaf = cfg.minSamplesLeaf;
+        tc.featureSubset = subset;
+        tc.seed = mixSeeds(cfg.seed, t + 1);
+        trees_[t] = std::make_unique<DecisionTree>(data, sample, tc);
+    };
+
+    // Checkpoint per-tree fits only when a single fit is expensive
+    // enough to be worth a journal frame and an fsync: the many small
+    // forests of a quickstart-sized run stay on the plain pool path
+    // (zero journal overhead), campaign-scale fits resume tree by
+    // tree.
+    constexpr size_t kCheckpointMinSamples = 256;
+    if (n >= kCheckpointMinSamples) {
+        uint64_t h = data.contentHash();
+        auto mix = [&h](uint64_t v) { h = mixSeeds(h, v); };
+        mix(static_cast<uint64_t>(cfg.numTrees));
+        mix(static_cast<uint64_t>(cfg.maxDepth));
+        mix(cfg.minSamplesLeaf);
+        mix(subset);
+        mix(cfg.seed);
+        Journal::instance().runCheckpointed(
+            "forest.fit", h, static_cast<size_t>(cfg.numTrees),
+            [&](size_t t, BinaryReader &in) {
+                trees_[t] = DecisionTree::deserialize(in);
+                return trees_[t] != nullptr && in.good();
+            },
+            fit_tree,
+            [&](size_t t, BinaryWriter &w) {
+                trees_[t]->serialize(w);
+            });
+    } else {
+        ThreadPool::instance().parallelFor(
+            static_cast<size_t>(cfg.numTrees), fit_tree);
+    }
 }
 
 RandomForest::RandomForest(

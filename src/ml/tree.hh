@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "ml/model.hh"
 
 namespace psca {
@@ -65,11 +66,23 @@ class DecisionTree : public Model
 
     const std::vector<Node> &nodes() const { return nodes_; }
 
+    /**
+     * Serialize the trained tree for checkpoint/resume. Nodes are
+     * written field by field (never as raw structs) so the byte
+     * stream is identical across builds regardless of padding.
+     */
+    void serialize(BinaryWriter &w) const;
+
+    /** Rebuild a trained tree from serialize() output. */
+    static std::unique_ptr<DecisionTree> deserialize(BinaryReader &in);
+
   private:
+    DecisionTree() = default; //!< deserialize() fills the members
+
     int32_t build(const Dataset &data, std::vector<size_t> &indices,
                   size_t begin, size_t end, int depth, Rng &rng);
 
-    size_t numInputs_;
+    size_t numInputs_ = 0;
     TreeConfig cfg_;
     std::vector<Node> nodes_;
 };

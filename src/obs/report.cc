@@ -7,6 +7,7 @@
 
 #include "common/env.hh"
 #include "common/fault.hh"
+#include "common/journal.hh"
 #include "common/logging.hh"
 #include "obs/stats.hh"
 
@@ -47,6 +48,32 @@ writeRunReport(const std::string &name)
                     .set(static_cast<double>(site.fireCount()));
             }
         });
+    // Same only-when-active rule for the checkpoint/resume layer:
+    // with the journal disabled (or never entered) no runner.* gauges
+    // exist, so those reports stay byte-identical to a build without
+    // the journal. Counts are process accounting — they describe this
+    // run's execution, not its results, and legitimately differ
+    // between a resumed and an uninterrupted run (DESIGN.md §11).
+    const JournalStats js = Journal::globalStats();
+    if (js.active) {
+        auto set = [&reg](const char *name, uint64_t v) {
+            reg.gauge(name).set(static_cast<double>(v));
+        };
+        set("runner.units_skipped", js.unitsSkipped);
+        set("runner.units_executed", js.unitsExecuted);
+        if (js.unitRetries > 0)
+            set("runner.unit_retries", js.unitRetries);
+        if (js.verifyFailures > 0)
+            set("runner.verify_failures", js.verifyFailures);
+        if (js.tornTails > 0)
+            set("runner.torn_tails", js.tornTails);
+        if (js.quarantines > 0)
+            set("runner.journal_quarantines", js.quarantines);
+        if (js.scopesRetired > 0)
+            set("runner.scopes_retired", js.scopesRetired);
+        if (js.softTimeouts > 0)
+            set("runner.soft_timeouts", js.softTimeouts);
+    }
     // Drain any buffered log output first so a consumer tailing the
     // log sees every line from the run before the report appears.
     std::fflush(stderr);

@@ -1,13 +1,12 @@
 #include "sim/memo.hh"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <thread>
 
 #include "common/env.hh"
 #include "common/fault.hh"
+#include "common/journal.hh"
 #include "common/rng.hh"
 #include "common/serialize.hh"
 #include "obs/stats.hh"
@@ -23,14 +22,6 @@ constexpr uint64_t kMemoMagic = 0x50534341534d454dULL; // "PSCASMEM"
 
 /** Transient-IO attempts before giving up (cold path is a rebuild). */
 constexpr int kIoAttempts = 3;
-
-/** Exponential backoff between transient-IO retries. */
-void
-ioBackoff(int attempt)
-{
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(1 << attempt));
-}
 
 /** True when the injected transient-IO fault hits this attempt. */
 bool
@@ -136,7 +127,10 @@ SimMemo::lookup(const MemoKey &key, MemoIntervals &out) const
     for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
         if (ioFaultHits(iokey, attempt)) {
             reg.counter("memo.io_retries").add();
-            ioBackoff(attempt);
+            // Backoff jitter is a taskSeed substream of (fault seed,
+            // iokey, attempt), so the retry schedule is bit-
+            // reproducible under PSCA_FAULT_SEED.
+            retryBackoffSleep(iokey, attempt);
             continue;
         }
         return readMemoFile(path, key, iokey, out);
@@ -156,8 +150,10 @@ SimMemo::readMemoFile(const std::string &path, const MemoKey &key,
     // A miss with a named reason: quarantine the file so the rebuild
     // cannot collide with the bad bytes.
     auto corrupt = [&](const char *reason) {
-        quarantineFile(path, reason);
+        const QuarantineResult q = quarantineFile(path, reason);
         reg.counter("memo.quarantined").add();
+        if (q.collided)
+            reg.counter("memo.quarantine_collisions").add();
         reg.counter("memo.misses").add();
         return false;
     };
@@ -221,13 +217,11 @@ SimMemo::store(const MemoKey &key, const MemoIntervals &intervals) const
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
 
-    // Unique temp name per writer thread, then an atomic rename:
-    // concurrent stores of the same key are rare (identical content
-    // anyway) and readers only ever see complete files.
+    // Transactional publish (stage + fsync + atomic rename) through
+    // the common artifact store: concurrent stores of the same key
+    // are rare (identical content anyway) and readers only ever see
+    // complete, durable files.
     const std::string path = pathFor(key);
-    const std::string tmp = path + ".tmp." +
-        std::to_string(std::hash<std::thread::id>{}(
-            std::this_thread::get_id()) & 0xffffff);
     const uint64_t iokey = ~mixSeeds(
         key.traceHash,
         mixSeeds(key.configHash, static_cast<uint64_t>(key.mode)));
@@ -235,11 +229,10 @@ SimMemo::store(const MemoKey &key, const MemoIntervals &intervals) const
     for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
         if (ioFaultHits(iokey, attempt)) {
             reg.counter("memo.io_retries").add();
-            ioBackoff(attempt);
+            retryBackoffSleep(iokey, attempt);
             continue;
         }
-        {
-            BinaryWriter out(tmp);
+        const bool ok = writeArtifactFile(path, [&](BinaryWriter &out) {
             writeFileHeader(out, kMemoMagic, kMemoVersion);
             out.put(key.traceHash);
             out.put(key.configHash);
@@ -258,19 +251,14 @@ SimMemo::store(const MemoKey &key, const MemoIntervals &intervals) const
                 }
             }
             out.putChecksumTrailer();
-            if (!out.good()) {
-                // Out of disk or a dying device: drop the partial
-                // temp file loudly; the cache stays consistent.
-                std::filesystem::remove(tmp, ec);
-                warn("memo '", path,
-                     "': write failed; entry not cached");
-                reg.counter("memo.write_failures").add();
-                return;
-            }
+        });
+        if (!ok) {
+            // Out of disk or a dying device: the store already
+            // dropped the partial temp; the cache stays consistent.
+            warn("memo '", path, "': write failed; entry not cached");
+            reg.counter("memo.write_failures").add();
+            return;
         }
-        std::filesystem::rename(tmp, path, ec);
-        if (ec)
-            std::filesystem::remove(tmp, ec);
         reg.counter("memo.stores").add();
         return;
     }

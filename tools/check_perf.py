@@ -2,6 +2,7 @@
 """Compare a BENCH_*.json run report against a recorded perf baseline.
 
 Usage: check_perf.py <report.json> <baseline.json> [--threshold 0.20]
+                     [--update-baseline]
 
 For every gauge named in the baseline's "gauges" object, warn (GitHub
 workflow-command format, so the annotation surfaces on the PR) when
@@ -9,10 +10,17 @@ the measured value falls more than the threshold below the recorded
 value. Exits 1 when any gauge regressed — pair with continue-on-error
 in CI to keep the job advisory: shared runners are noisy, so a single
 warn is a nudge to re-run, not a verdict.
+
+A missing baseline file or a gauge that has disappeared from the
+report is a bookkeeping gap, not a perf regression: both warn and
+exit 0 so a renamed gauge or a fresh checkout never fails the job.
+Re-record with --update-baseline, which rewrites the baseline's
+gauges from the measured report and exits 0.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -22,20 +30,60 @@ def main() -> int:
     ap.add_argument("baseline")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="tolerated fractional drop (default 0.20)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline's gauges from the "
+                         "report instead of comparing")
     args = ap.parse_args()
 
-    with open(args.report) as f:
-        measured = json.load(f).get("gauges", {})
-    with open(args.baseline) as f:
-        baseline = json.load(f)["gauges"]
+    try:
+        with open(args.report) as f:
+            measured = json.load(f).get("gauges", {})
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"::warning::perf report {args.report} unreadable "
+              f"({err}); nothing to check")
+        return 0
+
+    if args.update_baseline:
+        doc = {}
+        if os.path.exists(args.baseline):
+            try:
+                with open(args.baseline) as f:
+                    doc = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                doc = {}
+        # Keep previously tracked gauge names where possible so a
+        # partial report doesn't silently shrink coverage.
+        tracked = set(doc.get("gauges", {})) | set(measured)
+        doc["gauges"] = {
+            name: measured[name]
+            for name in sorted(tracked) if name in measured
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline {args.baseline} updated: "
+              f"{len(doc['gauges'])} gauges recorded")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"::warning::perf baseline {args.baseline} missing; "
+              f"record one with --update-baseline")
+        return 0
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f).get("gauges", {})
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"::warning::perf baseline {args.baseline} unreadable "
+              f"({err}); re-record with --update-baseline")
+        return 0
 
     regressed = 0
     for name, recorded in sorted(baseline.items()):
         got = measured.get(name)
         if got is None:
             print(f"::warning::perf gauge {name} missing from "
-                  f"{args.report}")
-            regressed += 1
+                  f"{args.report}; re-record the baseline if it was "
+                  f"renamed")
             continue
         floor = recorded * (1.0 - args.threshold)
         verdict = "ok"

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff two run reports, ignoring process-accounting noise.
+
+Usage: diff_reports.py <a.json> <b.json> [--ignore PREFIX ...]
+
+The crash-safe runner's determinism contract (DESIGN.md §11) is that
+a resumed run reproduces the *results* of an uninterrupted run bit
+for bit, not its process accounting: a resume skips completed units,
+so counters that meter work performed (simulated intervals, memo
+traffic, journal activity, fault-site fires) legitimately differ,
+while every result-bearing stat (suite.* metrics, controller
+decisions, model quality gauges) must match exactly. This tool
+encodes that split so CI can compare an interrupted-then-resumed run
+against a straight-through baseline.
+
+Compared: "counters", "gauges", and "histograms" objects, minus any
+key starting with an ignored prefix. Ignored wholesale: "phases"
+(wall-clock timings) and any key ending in _ns or _ms. Exits 1 with
+one line per mismatch; exits 0 when the result sets are identical.
+"""
+
+import argparse
+import json
+import sys
+
+# Work-metering stats: how much was *done*, not what was *computed*.
+# A resumed run does less of all of these.
+DEFAULT_IGNORE = [
+    "runner.",   # journal skip/execute/retry accounting
+    "memo.",     # simulation memo-cache traffic
+    "record.",   # trace-record cache traffic
+    "sim.",      # raw simulation work counters
+    "fault.",    # fault-site fires track executed sites
+    "uc.",       # firmware VM op/inference counts
+]
+
+
+def flatten(doc, ignore):
+    """Yield (dotted_key, value) for every compared leaf."""
+    for section in ("counters", "gauges", "histograms"):
+        for name, value in doc.get(section, {}).items():
+            key = f"{section}.{name}"
+            if name.endswith(("_ns", "_ms")):
+                continue
+            if any(name.startswith(p) for p in ignore):
+                continue
+            if isinstance(value, dict):
+                for sub, v in sorted(value.items()):
+                    yield f"{key}.{sub}", v
+            else:
+                yield key, value
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("a")
+    ap.add_argument("b")
+    ap.add_argument("--ignore", action="append", default=[],
+                    metavar="PREFIX",
+                    help="extra stat-name prefix to ignore "
+                         "(repeatable; adds to the built-in list)")
+    args = ap.parse_args()
+    ignore = DEFAULT_IGNORE + args.ignore
+
+    with open(args.a) as f:
+        a = dict(flatten(json.load(f), ignore))
+    with open(args.b) as f:
+        b = dict(flatten(json.load(f), ignore))
+
+    mismatches = 0
+    for key in sorted(set(a) | set(b)):
+        if key not in a:
+            print(f"MISMATCH {key}: only in {args.b} (= {b[key]})")
+        elif key not in b:
+            print(f"MISMATCH {key}: only in {args.a} (= {a[key]})")
+        elif a[key] != b[key]:
+            print(f"MISMATCH {key}: {a[key]} != {b[key]}")
+        else:
+            continue
+        mismatches += 1
+
+    if mismatches:
+        print(f"{mismatches} result stat(s) differ between "
+              f"{args.a} and {args.b}")
+        return 1
+    print(f"reports match: {len(a)} result stats identical "
+          f"({len(ignore)} accounting prefixes ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@
 #include "core/firmware_image.hh"
 #include "core/pipeline.hh"
 #include "sim/core.hh"
+#include "core/runner.hh"
 
 using namespace psca;
 
@@ -305,8 +306,8 @@ cmdFlash(int argc, char **argv)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -322,4 +323,11 @@ main(int argc, char **argv)
     if (cmd == "flash")
         return cmdFlash(argc - 2, argv + 2);
     return usage();
+}
+
+int
+main(int argc, char **argv)
+{
+    return psca::runner::guardedMain(
+        [argc, argv] { return run(argc, argv); });
 }
