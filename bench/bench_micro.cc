@@ -12,6 +12,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hh"
 #include "common/parallel.hh"
@@ -20,6 +22,7 @@
 #include "ml/linear.hh"
 #include "ml/mlp.hh"
 #include "ml/tree.hh"
+#include "obs/phase.hh"
 #include "obs/stats.hh"
 #include "sim/core.hh"
 #include "trace/decoded.hh"
@@ -321,6 +324,20 @@ BENCHMARK(BM_PoolDispatchOverhead)
     ->Args({4, 1024});
 
 void
+BM_PhaseScope(benchmark::State &state)
+{
+    // The phase-tracing hot path: push/pop of a cached (parent,name)
+    // node. Sharded wall-time credit keeps this lock-free in steady
+    // state, so the multi-threaded variant must not collapse — this
+    // is the overhead every instrumented scope pays.
+    for (auto _ : state) {
+        obs::ScopedPhase scope("bench.phase_scope");
+        benchmark::DoNotOptimize(&scope);
+    }
+}
+BENCHMARK(BM_PhaseScope)->Threads(1)->Threads(4);
+
+void
 BM_CrossvalFanout(benchmark::State &state)
 {
     // End-to-end 8-fold crossval (forest factory) at a given thread
@@ -433,6 +450,47 @@ recordReplayThroughput()
                 soa, aos, aos > 0.0 ? soa / aos : 0.0);
 }
 
+/**
+ * Wall-clock the phase-scope push/pop at one and four threads and
+ * record ns-per-scope gauges, so BENCH_micro.json tracks the cost of
+ * the sharded tracer hot path (a contended-mutex regression shows up
+ * as the 4-thread number exploding relative to the 1-thread one).
+ */
+void
+recordPhaseOverhead()
+{
+    using clock = std::chrono::steady_clock;
+    constexpr int kScopesPerThread = 200000;
+
+    auto time_threads = [&](int n) {
+        std::vector<std::thread> workers;
+        const auto start = clock::now();
+        for (int t = 0; t < n; ++t) {
+            workers.emplace_back([] {
+                for (int i = 0; i < kScopesPerThread; ++i) {
+                    obs::ScopedPhase scope("bench.phase_overhead");
+                    benchmark::DoNotOptimize(&scope);
+                }
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        const double s =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        return s * 1e9 / kScopesPerThread; // ns per scope per thread
+    };
+    const double ns_1t = time_threads(1);
+    const double ns_4t = time_threads(4);
+
+    auto &reg = obs::StatRegistry::instance();
+    reg.gauge("phase.scope_ns_1t").set(ns_1t);
+    reg.gauge("phase.scope_ns_4t").set(ns_4t);
+    std::printf("phase scope overhead: %.0f ns/scope at 1 thread, "
+                "%.0f ns/scope at 4 threads\n",
+                ns_1t, ns_4t);
+}
+
 } // namespace
 
 static int
@@ -447,6 +505,7 @@ run(int argc, char **argv)
     benchmark::Shutdown();
     recordReplayThroughput();
     recordCrossvalSpeedup();
+    recordPhaseOverhead();
     return 0;
 }
 

@@ -55,6 +55,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 
@@ -95,6 +96,10 @@ class FaultSite
         if (u >= rate_)
             return false;
         fireCount_.fetch_add(1, std::memory_order_relaxed);
+        // With tracing on, each fire lands in the flame view next to
+        // whatever degraded-mode handling it triggered.
+        traceInstantHook(name_.c_str(), "key",
+                         static_cast<long long>(key));
         return true;
     }
 

@@ -363,6 +363,10 @@ Journal::openAndReplay(bool resume)
                 tornTails_.fetch_add(1, std::memory_order_relaxed);
                 warn("journal '", path, "': torn tail truncated at ",
                      good_end, " of ", size, " bytes");
+                emitEvent("journal", LogLevel::Warn,
+                          "torn tail truncated at " +
+                              std::to_string(good_end) + " of " +
+                              std::to_string(size) + " bytes");
             }
             for (const Entry &e : replayed) {
                 const ScopeKey key{e.scopeHash, e.configHash};
@@ -583,9 +587,14 @@ Journal::runCheckpointed(
         pending.push_back(i);
     }
     unitsSkipped_.fetch_add(skipped, std::memory_order_relaxed);
-    if (skipped > 0)
+    if (skipped > 0) {
         inform("resume: scope '", scope, "' skipping ", skipped, "/",
                n, " completed units");
+        emitEvent("checkpoint", LogLevel::Info,
+                  "resume: scope '" + scope + "' skipped " +
+                      std::to_string(skipped) + "/" +
+                      std::to_string(n) + " completed units");
+    }
 
     std::atomic<bool> interrupted{false};
     pool.parallelFor(pending.size(), [&](size_t k) {
@@ -620,6 +629,8 @@ Journal::runCheckpointed(
         const uint64_t retry_key =
             mixSeeds(mixSeeds(scope_h, config_h),
                      static_cast<uint64_t>(i));
+        const uint64_t span_start =
+            traceHooksEnabled() ? steadyNowNs() : 0;
         for (int attempt = 0;; ++attempt) {
             try {
                 exec_unit(i);
@@ -637,6 +648,10 @@ Journal::runCheckpointed(
                 retryBackoffSleep(retry_key, attempt);
             }
         }
+
+        if (span_start)
+            traceSpanHook("journal.unit", span_start, steadyNowNs(),
+                          "unit", static_cast<long long>(i));
 
         uint64_t sum = 0;
         const bool stored = writeArtifactFile(
@@ -671,6 +686,9 @@ Journal::runCheckpointed(
     if (interrupted.load(std::memory_order_relaxed) ||
         stopRequested())
     {
+        emitEvent("checkpoint", LogLevel::Warn,
+                  "scope '" + scope +
+                      "' interrupted; completed units journaled");
         throw RunInterrupted("scope '" + scope +
                              "' interrupted; completed units are "
                              "journaled for resume");

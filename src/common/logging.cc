@@ -71,4 +71,67 @@ emitLine(const char *tag, const std::string &msg)
 }
 
 } // namespace detail
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace {
+
+TraceEnabledFn g_trace_enabled = nullptr;
+TraceSpanFn g_trace_span = nullptr;
+TraceInstantFn g_trace_instant = nullptr;
+EventSinkFn g_event_sink = nullptr;
+
+} // namespace
+
+void
+setTraceHooks(TraceEnabledFn enabled, TraceSpanFn span,
+              TraceInstantFn instant)
+{
+    g_trace_enabled = enabled;
+    g_trace_span = span;
+    g_trace_instant = instant;
+}
+
+void
+setEventSink(EventSinkFn sink)
+{
+    g_event_sink = sink;
+}
+
+bool
+traceHooksEnabled()
+{
+    return g_trace_enabled && g_trace_enabled();
+}
+
+void
+traceSpanHook(const char *name, uint64_t start_ns, uint64_t end_ns,
+              const char *k1, long long v1, const char *k2,
+              long long v2)
+{
+    if (g_trace_span && traceHooksEnabled())
+        g_trace_span(name, start_ns, end_ns, k1, v1, k2, v2);
+}
+
+void
+traceInstantHook(const char *name, const char *key, long long value)
+{
+    if (g_trace_instant && traceHooksEnabled())
+        g_trace_instant(name, key, value);
+}
+
+void
+emitEvent(const char *category, LogLevel level, const std::string &msg)
+{
+    if (g_event_sink)
+        g_event_sink(category, level, msg);
+}
+
 } // namespace psca

@@ -119,6 +119,63 @@ panic(Args &&...args)
     std::abort();
 }
 
+/** Nanoseconds on the steady clock (monotonic, arbitrary epoch). */
+uint64_t steadyNowNs();
+
+/*
+ * Telemetry bridge (DESIGN.md §12). The common layer cannot link
+ * against the obs layer, yet common-side code (journal units, fault
+ * sites, quarantine) produces trace spans and structured events.
+ * These function-pointer hooks are the seam: the obs layer registers
+ * targets at static-init time (plain constant-initialized pointers,
+ * so cross-TU init order is harmless — the same idiom as the
+ * ThreadPool context hooks); until then, and in obs-free binaries,
+ * every call is a cheap no-op.
+ */
+
+/** True when span tracing is on (cheap; safe to call per event). */
+using TraceEnabledFn = bool (*)();
+/** A completed span [start_ns, end_ns] with up to two integer args. */
+using TraceSpanFn = void (*)(const char *name, uint64_t start_ns,
+                             uint64_t end_ns, const char *k1,
+                             long long v1, const char *k2,
+                             long long v2);
+/** A zero-duration instant event with an optional integer arg. */
+using TraceInstantFn = void (*)(const char *name, const char *key,
+                                long long value);
+/** A structured run event (bounded log, serialized into reports). */
+using EventSinkFn = void (*)(const char *category, LogLevel level,
+                             const std::string &msg);
+
+void setTraceHooks(TraceEnabledFn enabled, TraceSpanFn span,
+                   TraceInstantFn instant);
+void setEventSink(EventSinkFn sink);
+
+/** True when a trace sink is registered and actively recording. */
+bool traceHooksEnabled();
+
+/**
+ * Record a span through the registered hook (no-op when tracing is
+ * off). Keys must be string literals (or otherwise outlive the run);
+ * pass nullptr keys to omit args.
+ */
+void traceSpanHook(const char *name, uint64_t start_ns,
+                   uint64_t end_ns, const char *k1 = nullptr,
+                   long long v1 = 0, const char *k2 = nullptr,
+                   long long v2 = 0);
+
+/** Record an instant event through the registered hook. */
+void traceInstantHook(const char *name, const char *key = nullptr,
+                      long long value = 0);
+
+/**
+ * Append a structured event to the registered event sink (the obs
+ * EventLog when linked; dropped silently otherwise). Does NOT print:
+ * callers that also want a log line still call warn()/inform().
+ */
+void emitEvent(const char *category, LogLevel level,
+               const std::string &msg);
+
 /** Abort via panic() when a library invariant does not hold. */
 #define PSCA_ASSERT(cond, ...)                                          \
     do {                                                                \

@@ -16,6 +16,8 @@ thread_local bool tls_in_task = false;
 ThreadPool::ContextCapture g_ctx_capture = nullptr;
 ThreadPool::ContextEnter g_ctx_enter = nullptr;
 ThreadPool::ContextExit g_ctx_exit = nullptr;
+ThreadPool::TaskSpanHook g_task_begin = nullptr;
+ThreadPool::TaskSpanHook g_task_end = nullptr;
 
 std::mutex g_instance_mu;
 std::unique_ptr<ThreadPool> g_instance;
@@ -121,6 +123,13 @@ ThreadPool::setContextHooks(ContextCapture capture, ContextEnter enter,
 }
 
 void
+ThreadPool::setTaskSpanHooks(TaskSpanHook begin, TaskSpanHook end)
+{
+    g_task_begin = begin;
+    g_task_end = end;
+}
+
+void
 ThreadPool::runOne(const std::function<void(size_t)> &fn, size_t i)
 {
     tls_in_task = true;
@@ -145,6 +154,8 @@ ThreadPool::drainJob(const std::shared_ptr<Job> &job, bool is_worker)
     size_t i;
     while ((i = job->next.fetch_add(1, std::memory_order_relaxed)) <
            job->n) {
+        if (g_task_begin)
+            g_task_begin(i);
         if (is_worker) {
             // The submitter already carries its phase context; only
             // detached workers adopt it per task.
@@ -153,6 +164,8 @@ ThreadPool::drainJob(const std::shared_ptr<Job> &job, bool is_worker)
         } else {
             runOne(*job->fn, i);
         }
+        if (g_task_end)
+            g_task_end(i);
         ++ran;
     }
     if (ran) {

@@ -118,6 +118,17 @@ class ThreadPool
     static void setContextHooks(ContextCapture capture,
                                 ContextEnter enter, ContextExit exit);
 
+    /**
+     * Task-span hooks (registered once, by the obs layer): begin(i)
+     * and end(i) bracket every task claimed through the pool's
+     * drain loop — on workers and the submitting thread alike — so
+     * span tracing can attribute each index. Serial fast paths
+     * (one thread, n == 1, nested regions) bypass the pool and
+     * therefore these hooks.
+     */
+    using TaskSpanHook = void (*)(size_t);
+    static void setTaskSpanHooks(TaskSpanHook begin, TaskSpanHook end);
+
   private:
     struct Job;
 

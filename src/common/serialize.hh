@@ -296,10 +296,16 @@ quarantineFile(const std::string &path, const char *reason)
     if (std::rename(path.c_str(), res.dest.c_str()) == 0) {
         warn("quarantined '", path, "' (", reason, ") -> '",
              res.dest, "'");
+        emitEvent("quarantine", LogLevel::Warn,
+                  "quarantined '" + path + "' (" + reason + ") -> '" +
+                      res.dest + "'");
     } else {
         std::remove(path.c_str());
         warn("removed corrupt '", path, "' (", reason,
              "; quarantine rename failed)");
+        emitEvent("quarantine", LogLevel::Warn,
+                  "removed corrupt '" + path + "' (" +
+                      std::string(reason) + ")");
         res.dest.clear();
     }
     return res;

@@ -155,6 +155,9 @@ crossValidate(const Dataset &data, const ModelFactory &factory,
     // (in fold order, skipped folds preserved as nullopt) reproduces
     // the serial summary bit for bit.
     auto run_fold = [&](size_t fold) -> std::optional<EvalResult> {
+        obs::ScopedPhase fold_phase(
+            "crossval.fold",
+            {{"fold", static_cast<long long>(fold)}});
         const uint64_t fold_seed = taskSeed(opts.seed, fold);
         FoldSplit split = appLevelSplit(data, opts.tuneFraction,
                                         fold_seed, opts.maxTuneApps);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/journal.hh"
+#include "common/logging.hh"
 #include "common/serialize.hh"
 #include "ml/linear.hh"
 #include "ml/mlp.hh"
@@ -236,6 +237,9 @@ VmPredictor::decide(const std::vector<const float *> &sub_rows,
         obs::StatRegistry::instance()
             .counter("controller.vm_trap_failsafes")
             .add();
+        emitEvent("vm", LogLevel::Warn,
+                  "vm trap during inference; failing safe to the "
+                  "high-performance configuration");
         return false;
     }
     return score >= slot.threshold;

@@ -1,5 +1,6 @@
 #include "core/guardrail.hh"
 
+#include "common/logging.hh"
 #include "obs/stats.hh"
 
 namespace psca {
@@ -63,6 +64,13 @@ GuardrailedPredictor::decide(
             obs::StatRegistry::instance()
                 .counter("controller.guardrail_trips")
                 .add();
+            emitEvent("guardrail", LogLevel::Warn,
+                      "guardrail trip #" + std::to_string(trips_) +
+                          ": IPC below " +
+                          std::to_string(cfg_.tripRatio) +
+                          " of reference; forcing high-perf for " +
+                          std::to_string(cfg_.holdoffBlocks) +
+                          " blocks");
         }
     }
 

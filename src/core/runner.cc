@@ -14,6 +14,8 @@
 #include "common/env.hh"
 #include "common/journal.hh"
 #include "common/logging.hh"
+#include "obs/http.hh"
+#include "obs/trace.hh"
 
 namespace psca {
 namespace runner {
@@ -94,6 +96,9 @@ class Watchdog
                      " reached after ", elapsed,
                      " s; requesting checkpoint-and-stop (grace ",
                      graceS_, " s)");
+                emitEvent("watchdog", LogLevel::Warn,
+                          "deadline reached; requesting "
+                          "checkpoint-and-stop");
                 requestStop();
             }
             if (deadlineS_ > 0 && stop_requested &&
@@ -125,6 +130,10 @@ class Watchdog
                      "' has run ", secs,
                      " s (> PSCA_UNIT_TIMEOUT_S=", unitTimeoutS_,
                      "); advisory only, not killed");
+                emitEvent("watchdog", LogLevel::Warn,
+                          "unit " + std::to_string(unit) +
+                              " of scope '" + scope +
+                              "' exceeded the soft unit timeout");
             });
     }
 
@@ -171,6 +180,14 @@ guardedMain(const std::function<int()> &body)
     const double unit_timeout_s =
         env::doubleOr("PSCA_UNIT_TIMEOUT_S", 0.0, 0.0, 1e9);
 
+    // Arm the telemetry plane before the body spawns threads: the
+    // trace log parses PSCA_TRACE on first touch, and the live
+    // endpoint starts if PSCA_HTTP_PORT is set.
+    obs::TraceLog::instance();
+    obs::HttpServer::maybeStartFromEnv();
+    const double linger_s =
+        env::doubleOr("PSCA_HTTP_LINGER_S", 0.0, 0.0, 86400.0);
+
     int status = 0;
     {
         Watchdog watchdog(deadline_s, grace_s, unit_timeout_s);
@@ -188,6 +205,9 @@ guardedMain(const std::function<int()> &body)
             inform("interrupted: ", e.what());
             inform("exiting with resumable status ", kResumableExit,
                    "; re-run the same command to resume");
+            emitEvent("checkpoint", LogLevel::Info,
+                      "run interrupted; exiting with resumable "
+                      "status");
             status = kResumableExit;
         } catch (const std::exception &e) {
             warn("uncaught exception: ", e.what());
@@ -195,6 +215,25 @@ guardedMain(const std::function<int()> &body)
         }
         watchdog.stop();
     }
+
+    // Orderly telemetry shutdown: optionally hold the live endpoint
+    // open so a scraper can take a final reading, then stop it and
+    // flush the span trace (also covered by atexit for bare mains).
+    obs::HttpServer &http = obs::HttpServer::instance();
+    if (http.running() && linger_s > 0 && !stopRequested()) {
+        inform("http: lingering ", linger_s,
+               " s for final scrapes (PSCA_HTTP_LINGER_S)");
+        const auto linger_until = std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(linger_s);
+        while (std::chrono::steady_clock::now() < linger_until &&
+               !stopRequested())
+        {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+    }
+    http.stop();
+    obs::TraceLog::instance().finalize();
 
     sigaction(SIGINT, &old_int, nullptr);
     sigaction(SIGTERM, &old_term, nullptr);

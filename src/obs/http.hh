@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Embedded live-stats HTTP endpoint (DESIGN.md §12): a minimal
+ * single-threaded HTTP/1.0 server over POSIX sockets serving the
+ * process telemetry while a run executes, so a long campaign on
+ * another machine is observable with curl:
+ *
+ *   /stats.json  the full live report (stats, events, phase tree)
+ *   /events      the recent structured event log
+ *   /phases      cumulative phase tree + currently open scopes
+ *   /            endpoint index
+ *
+ * Off by default; enabled by PSCA_HTTP_PORT (0 picks an ephemeral
+ * port, logged and queryable via port()). Binds 127.0.0.1 unless
+ * PSCA_HTTP_BIND says otherwise — the payload is telemetry, but
+ * exposing it beyond the host is an explicit choice. Responses are
+ * built under the same locks the run report takes, one request per
+ * connection; this is an observability tap, not a web server.
+ */
+
+#ifndef PSCA_OBS_HTTP_HH
+#define PSCA_OBS_HTTP_HH
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace psca {
+namespace obs {
+
+class HttpServer
+{
+  public:
+    /** The process-wide endpoint (started explicitly, not lazily). */
+    static HttpServer &instance();
+
+    /**
+     * Start serving on @p port (0 = ephemeral) at @p bind_addr.
+     * False (with a warning) when the socket cannot be set up or the
+     * server is already running. Enables live open-scope tracking.
+     */
+    bool start(int port, const std::string &bind_addr = "127.0.0.1");
+
+    /**
+     * Start from PSCA_HTTP_PORT/PSCA_HTTP_BIND if set; false when
+     * the variable is absent or startup failed.
+     */
+    static bool maybeStartFromEnv();
+
+    /** Join the accept loop and close the socket. Idempotent. */
+    void stop();
+
+    bool
+    running() const
+    {
+        return running_.load(std::memory_order_relaxed);
+    }
+
+    /** The bound port (resolved for port 0); 0 when not running. */
+    int
+    port() const
+    {
+        return port_.load(std::memory_order_relaxed);
+    }
+
+    ~HttpServer() { stop(); }
+
+  private:
+    HttpServer() = default;
+
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<int> port_{0};
+    int listenFd_ = -1;
+    std::thread thread_;
+};
+
+} // namespace obs
+} // namespace psca
+
+#endif // PSCA_OBS_HTTP_HH

@@ -1,5 +1,8 @@
 #include "obs/phase.hh"
 
+#include <unordered_map>
+
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "obs/stats.hh"
 
@@ -17,6 +20,37 @@ thread_local std::vector<PhaseNode *> tls_stack;
 
 /** Saved stack while this thread runs a pool task (one level deep). */
 thread_local std::vector<PhaseNode *> tls_saved_stack;
+
+/**
+ * Per-thread (parent, name) -> child memo so steady-state push never
+ * touches the tracer mutex. Invalidated wholesale when the tracer
+ * epoch moves (reset()).
+ */
+struct ChildKey
+{
+    const PhaseNode *parent;
+    std::string name;
+
+    bool
+    operator==(const ChildKey &o) const
+    {
+        return parent == o.parent && name == o.name;
+    }
+};
+
+struct ChildKeyHash
+{
+    size_t
+    operator()(const ChildKey &k) const
+    {
+        return std::hash<const void *>()(k.parent) * 1099511628211ULL ^
+            std::hash<std::string>()(k.name);
+    }
+};
+
+thread_local std::unordered_map<ChildKey, PhaseNode *, ChildKeyHash>
+    tls_child_cache;
+thread_local uint64_t tls_cache_epoch = ~0ULL;
 
 /** ThreadPool context hooks: carry the submitter's phase to workers. */
 void *
@@ -38,6 +72,34 @@ exitContext()
 }
 
 /**
+ * ThreadPool task-span hooks: with tracing on, each claimed pool task
+ * becomes a "pool.task" span carrying its index, so imbalance across
+ * workers is visible in the flame view.
+ */
+thread_local uint64_t tls_task_start_ns = 0;
+
+void
+taskSpanBegin(size_t)
+{
+    tls_task_start_ns =
+        TraceLog::instance().enabled() ? steadyNowNs() : 0;
+}
+
+void
+taskSpanEnd(size_t index)
+{
+    if (!tls_task_start_ns)
+        return;
+    auto &tl = TraceLog::instance();
+    if (tl.enabled()) {
+        SpanArg arg{"index", static_cast<long long>(index)};
+        tl.span("pool.task", tls_task_start_ns, steadyNowNs(), &arg,
+                1);
+    }
+    tls_task_start_ns = 0;
+}
+
+/**
  * Register the hooks at static-init time so the first parallelFor —
  * whoever triggers it — already propagates phase context. The hook
  * targets in parallel.cc are plain function pointers
@@ -46,6 +108,7 @@ exitContext()
 const bool g_hooks_registered = [] {
     ThreadPool::setContextHooks(captureContext, enterContext,
                                 exitContext);
+    ThreadPool::setTaskSpanHooks(taskSpanBegin, taskSpanEnd);
     return true;
 }();
 
@@ -90,23 +153,46 @@ PhaseTracer::current()
 }
 
 PhaseNode *
+PhaseTracer::childFor(PhaseNode *parent, const std::string &name)
+{
+    const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (tls_cache_epoch != epoch) {
+        tls_child_cache.clear();
+        tls_cache_epoch = epoch;
+    }
+    const ChildKey key{parent, name};
+    const auto it = tls_child_cache.find(key);
+    if (it != tls_child_cache.end())
+        return it->second;
+    PhaseNode *node;
+    {
+        std::lock_guard<std::mutex> lock(treeMu_);
+        node = parent->findOrAddChild(name);
+    }
+    tls_child_cache.emplace(key, node);
+    return node;
+}
+
+PhaseNode *
 PhaseTracer::push(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(treeMu_);
     PhaseNode *parent = tls_stack.empty() ? &root_ : tls_stack.back();
-    PhaseNode *node = parent->findOrAddChild(name);
-    ++node->calls;
+    PhaseNode *node = childFor(parent, name);
+    node->calls.fetch_add(1, std::memory_order_relaxed);
     tls_stack.push_back(node);
+    if (liveScopes_.load(std::memory_order_relaxed))
+        openScopePush(node);
     return node;
 }
 
 void
 PhaseTracer::pop(uint64_t elapsed_ns)
 {
-    std::lock_guard<std::mutex> lock(treeMu_);
     if (tls_stack.empty())
         return; // unbalanced pop; keep the root usable
-    tls_stack.back()->wallNs += elapsed_ns;
+    PhaseNode *node = tls_stack.back();
+    node->wallNs.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    openScopePop(node);
     tls_stack.pop_back();
 }
 
@@ -129,24 +215,113 @@ PhaseTracer::endTask()
 void
 PhaseTracer::reset()
 {
-    std::lock_guard<std::mutex> lock(treeMu_);
-    root_.children.clear();
-    root_.calls = 0;
-    root_.wallNs = 0;
+    // Clear the live-view slots FIRST: their entries point at nodes
+    // the tree clear below destroys.
+    {
+        std::lock_guard<std::mutex> lock(slotsMu_);
+        for (auto &slot : slots_) {
+            std::lock_guard<std::mutex> slock(slot->mu);
+            slot->open.clear();
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(treeMu_);
+        root_.children.clear();
+        root_.calls.store(0, std::memory_order_relaxed);
+        root_.wallNs.store(0, std::memory_order_relaxed);
+    }
+    // Invalidate every thread's child memo (checked against the
+    // epoch on its next push); this thread's eagerly.
+    epoch_.fetch_add(1, std::memory_order_release);
+    tls_child_cache.clear();
+    tls_cache_epoch = epoch_.load(std::memory_order_relaxed);
     // Open ScopedPhases on this thread hold pointers into the cleared
     // tree; rewind the stack so later pushes re-root cleanly.
     tls_stack.clear();
 }
 
+void
+PhaseTracer::setLiveScopes(bool on)
+{
+    liveScopes_.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+/** This thread's live-view slot (created on first gated push). */
+thread_local std::shared_ptr<PhaseTracer::OpenSlot> tls_slot;
+
+} // namespace
+
+void
+PhaseTracer::openScopePush(const PhaseNode *node)
+{
+    if (!tls_slot) {
+        tls_slot = std::make_shared<OpenSlot>();
+        tls_slot->tid = threadTag();
+        std::lock_guard<std::mutex> lock(slotsMu_);
+        slots_.push_back(tls_slot);
+    }
+    std::lock_guard<std::mutex> lock(tls_slot->mu);
+    tls_slot->open.emplace_back(node, steadyNowNs());
+}
+
+void
+PhaseTracer::openScopePop(const PhaseNode *node)
+{
+    // Tracking may have been toggled mid-scope: pop only a matching
+    // top entry so the live stack never misattributes.
+    if (!tls_slot)
+        return;
+    std::lock_guard<std::mutex> lock(tls_slot->mu);
+    if (!tls_slot->open.empty() &&
+        tls_slot->open.back().first == node)
+        tls_slot->open.pop_back();
+}
+
+void
+PhaseTracer::forEachOpenScope(
+    const std::function<void(int tid, const std::string &name,
+                             uint64_t open_ns)> &fn) const
+{
+    const uint64_t now = steadyNowNs();
+    std::lock_guard<std::mutex> lock(slotsMu_);
+    for (const auto &slot : slots_) {
+        std::lock_guard<std::mutex> slock(slot->mu);
+        for (const auto &[node, start] : slot->open)
+            fn(slot->tid, node->name,
+               now > start ? now - start : 0);
+    }
+}
+
 ScopedPhase::ScopedPhase(const std::string &name)
     : start_(std::chrono::steady_clock::now())
 {
-    PhaseTracer::instance().push(name);
+    node_ = PhaseTracer::instance().push(name);
+}
+
+ScopedPhase::ScopedPhase(const std::string &name,
+                         std::initializer_list<SpanArg> args)
+    : start_(std::chrono::steady_clock::now())
+{
+    node_ = PhaseTracer::instance().push(name);
+    for (const SpanArg &a : args) {
+        if (nargs_ >= TraceLog::kMaxArgs)
+            break;
+        args_[nargs_++] = a;
+    }
 }
 
 ScopedPhase::~ScopedPhase()
 {
-    PhaseTracer::instance().pop(elapsedNs(start_));
+    const uint64_t ns = elapsedNs(start_);
+    PhaseTracer::instance().pop(ns);
+    auto &tl = TraceLog::instance();
+    if (tl.enabled()) {
+        const uint64_t end = steadyNowNs();
+        tl.span(node_->name.c_str(), end > ns ? end - ns : 0, end,
+                args_, nargs_);
+    }
 }
 
 ScopedTimer::~ScopedTimer()

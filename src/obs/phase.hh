@@ -3,28 +3,42 @@
  * Phase tracing: RAII scopes that nest into a process-wide phase tree
  * with per-phase wall time and call counts (trace recording, PF
  * selection, scaler fit, model training, cross-validation, closed-loop
- * replay, ...). The tree is emitted with the stat-registry run report.
+ * replay, ...). The tree is emitted with the stat-registry run report;
+ * with PSCA_TRACE set, every closed scope is also exported as a
+ * Chrome-trace span (obs/trace.hh).
  *
- * Threading (DESIGN.md §8): every thread has its own scope stack
- * (thread_local), while the tree itself — node creation, call
- * counts, wall-time credits — is guarded by one tracer mutex taken
- * per push/pop. Scopes are coarse (a trace replay, a fold, a tree
- * fit), so the lock is uncontended in practice. When the thread
- * pool runs a task on a worker, the submitter's current phase is
- * captured and the worker's stack is rooted there for the task's
- * duration (beginTask/endTask, wired via ThreadPool context hooks),
- * so worker-side scopes nest under the phase that spawned them.
+ * Threading (DESIGN.md §8/§12): every thread has its own scope stack
+ * (thread_local). The push/pop hot path is sharded: call counts and
+ * wall-time credits are relaxed atomics on the nodes, and each thread
+ * memoizes (parent, name) -> node lookups in a thread-local cache, so
+ * the tracer mutex is taken only to CREATE a node (first arrival of a
+ * name under a parent) or to freeze the tree for a dump — steady-state
+ * push/pop touches no shared lock. reset() bumps an epoch that
+ * invalidates the caches. When the thread pool runs a task on a
+ * worker, the submitter's current phase is captured and the worker's
+ * stack is rooted there for the task's duration (beginTask/endTask,
+ * wired via ThreadPool context hooks), so worker-side scopes nest
+ * under the phase that spawned them.
+ *
+ * Live view: when open-scope tracking is on (enabled by the HTTP
+ * endpoint), each thread additionally keeps its currently open scopes
+ * with start times in a registered slot, so /phases can show what is
+ * running right now and for how long.
  */
 
 #ifndef PSCA_OBS_PHASE_HH
 #define PSCA_OBS_PHASE_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/trace.hh"
 
 namespace psca {
 namespace obs {
@@ -35,8 +49,8 @@ class Histogram;
 struct PhaseNode
 {
     std::string name;
-    uint64_t calls = 0;
-    uint64_t wallNs = 0;
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> wallNs{0};
     std::vector<std::unique_ptr<PhaseNode>> children;
 
     /** Child by name, created on first use (insertion order kept). */
@@ -71,9 +85,9 @@ class PhaseTracer
     const PhaseNode &root() const { return root_; }
 
     /**
-     * Lock that freezes the tree for a consistent dump. Dump paths
-     * hold it across the whole traversal; push/pop take the same
-     * mutex per operation.
+     * Lock that freezes the tree STRUCTURE for a consistent dump
+     * (node creation takes the same mutex). Counts and wall times on
+     * the nodes are atomics and may still tick during the traversal.
      */
     std::unique_lock<std::mutex> lockTree() const
     {
@@ -87,18 +101,54 @@ class PhaseTracer
      */
     void reset();
 
+    /**
+     * Turn per-thread open-scope tracking on/off (off by default: the
+     * live view costs an extra mutexed push/pop per scope and is only
+     * needed while something can ask "what is running right now").
+     */
+    void setLiveScopes(bool on);
+
+    /** Visit every currently open scope with its elapsed time. */
+    void forEachOpenScope(
+        const std::function<void(int tid, const std::string &name,
+                                 uint64_t open_ns)> &fn) const;
+
+    /** One thread's open scopes with start times (live view only). */
+    struct OpenSlot
+    {
+        std::mutex mu;
+        int tid = 0;
+        std::vector<std::pair<const PhaseNode *, uint64_t>> open;
+    };
+
   private:
     PhaseTracer();
 
-    mutable std::mutex treeMu_; //!< guards every node in the tree
+    PhaseNode *childFor(PhaseNode *parent, const std::string &name);
+    void openScopePush(const PhaseNode *node);
+    void openScopePop(const PhaseNode *node);
+
+    mutable std::mutex treeMu_; //!< guards the tree STRUCTURE
     PhaseNode root_;
+    std::atomic<uint64_t> epoch_{0}; //!< bumped by reset()
+    std::atomic<bool> liveScopes_{false};
+
+    mutable std::mutex slotsMu_; //!< guards the slot registry
+    std::vector<std::shared_ptr<OpenSlot>> slots_;
 };
 
-/** RAII phase scope: push on construction, pop on destruction. */
+/**
+ * RAII phase scope: push on construction, pop on destruction. The
+ * optional args (at most TraceLog::kMaxArgs; keys must be string
+ * literals) annotate the exported trace span — e.g.
+ * ScopedPhase("crossval_fold", {{"fold", fold}}).
+ */
 class ScopedPhase
 {
   public:
     explicit ScopedPhase(const std::string &name);
+    ScopedPhase(const std::string &name,
+                std::initializer_list<SpanArg> args);
     ~ScopedPhase();
 
     ScopedPhase(const ScopedPhase &) = delete;
@@ -106,6 +156,9 @@ class ScopedPhase
 
   private:
     std::chrono::steady_clock::time_point start_;
+    PhaseNode *node_;
+    SpanArg args_[TraceLog::kMaxArgs];
+    int nargs_ = 0;
 };
 
 /** RAII timer recording its elapsed nanoseconds into a histogram. */

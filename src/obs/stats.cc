@@ -7,7 +7,10 @@
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "obs/events.hh"
+#include "obs/json.hh"
 #include "obs/phase.hh"
+#include "obs/snapshot.hh"
 
 namespace psca {
 namespace obs {
@@ -25,46 +28,188 @@ Counter::shardIndex()
     return id;
 }
 
+namespace {
+
+/** 128-bit sums fit doubles' range (2^128 < 1e39) exactly enough. */
 double
-Histogram::stddev() const
+u128ToDouble(Uint128 v)
+{
+    return static_cast<double>(v);
+}
+
+void
+putU128(BinaryWriter &out, Uint128 v)
+{
+    out.put<uint64_t>(static_cast<uint64_t>(v));
+    out.put<uint64_t>(static_cast<uint64_t>(v >> 64));
+}
+
+Uint128
+getU128(BinaryReader &in)
+{
+    const uint64_t lo = in.get<uint64_t>();
+    const uint64_t hi = in.get<uint64_t>();
+    return (static_cast<Uint128>(hi) << 64) | lo;
+}
+
+} // namespace
+
+double
+HistogramSnapshot::mean() const
+{
+    return count ? u128ToDouble(sum) / static_cast<double>(count)
+                 : 0.0;
+}
+
+double
+HistogramSnapshot::variance() const
+{
+    if (!count)
+        return 0.0;
+    const double n = static_cast<double>(count);
+    const double m = u128ToDouble(sum) / n;
+    const double v = u128ToDouble(sumSq) / n - m * m;
+    return v > 0.0 ? v : 0.0;
+}
+
+double
+HistogramSnapshot::stddev() const
 {
     return std::sqrt(variance());
 }
 
 uint64_t
-Histogram::percentile(double p) const
+HistogramSnapshot::percentile(double p) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ == 0)
+    if (count == 0)
         return 0;
     if (p <= 0.0)
-        return min_;
+        return min;
     if (p >= 100.0)
-        return max_;
-    uint64_t rank = static_cast<uint64_t>(std::ceil(
-        p / 100.0 * static_cast<double>(count_)));
+        return max;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
     if (rank < 1)
         rank = 1;
-    if (rank > count_)
-        rank = count_;
+    if (rank > count)
+        rank = count;
 
     uint64_t cum = 0;
-    for (size_t i = 0; i < kNumBuckets; ++i) {
-        cum += buckets_[i];
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        cum += buckets[i];
         if (cum >= rank) {
-            const uint64_t lo = bucketLowerBound(i);
-            const uint64_t hi =
-                i + 1 < kNumBuckets ? bucketUpperBound(i) : max_;
+            const uint64_t lo = Histogram::bucketLowerBound(i);
+            const uint64_t hi = i + 1 < Histogram::kNumBuckets
+                ? Histogram::bucketUpperBound(i)
+                : max;
             uint64_t mid = lo + (hi - lo) / 2;
             // The exact extrema beat the bucket resolution.
-            if (mid < min_)
-                mid = min_;
-            if (mid > max_)
-                mid = max_;
+            if (mid < min)
+                mid = min;
+            if (mid > max)
+                mid = max;
             return mid;
         }
     }
-    return max_;
+    return max;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    count += other.count;
+    // An empty shard carries min=UINT64_MAX / max=0: the identity
+    // element for both folds, so no emptiness check is needed.
+    if (other.min < min)
+        min = other.min;
+    if (other.max > max)
+        max = other.max;
+    sum += other.sum;
+    sumSq += other.sumSq;
+    for (size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+}
+
+void
+HistogramSnapshot::serialize(BinaryWriter &out) const
+{
+    out.put(count);
+    out.put(min);
+    out.put(max);
+    putU128(out, sum);
+    putU128(out, sumSq);
+    out.put<uint64_t>(Histogram::kNumBuckets);
+    for (uint64_t b : buckets)
+        out.put(b);
+}
+
+bool
+HistogramSnapshot::deserialize(BinaryReader &in)
+{
+    count = in.get<uint64_t>();
+    min = in.get<uint64_t>();
+    max = in.get<uint64_t>();
+    sum = getU128(in);
+    sumSq = getU128(in);
+    const uint64_t n = in.get<uint64_t>();
+    if (!in.good() || n != Histogram::kNumBuckets)
+        return false;
+    for (auto &b : buckets)
+        b = in.get<uint64_t>();
+    return in.good();
+}
+
+double
+Histogram::mean() const
+{
+    return snapshot().mean();
+}
+
+double
+Histogram::variance() const
+{
+    return snapshot().variance();
+}
+
+double
+Histogram::stddev() const
+{
+    return snapshot().stddev();
+}
+
+uint64_t
+Histogram::percentile(double p) const
+{
+    return snapshot().percentile(p);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    HistogramSnapshot s;
+    s.count = count_;
+    s.min = min_;
+    s.max = max_;
+    s.sum = sum_;
+    s.sumSq = sumSq_;
+    s.buckets = buckets_;
+    return s;
+}
+
+void
+Histogram::merge(const HistogramSnapshot &other)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += other.count;
+    if (other.min < min_)
+        min_ = other.min;
+    if (other.max > max_)
+        max_ = other.max;
+    sum_ += other.sum;
+    sumSq_ += other.sumSq;
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets[i];
 }
 
 void
@@ -74,39 +219,31 @@ Histogram::reset()
     count_ = 0;
     min_ = UINT64_MAX;
     max_ = 0;
-    mean_ = 0.0;
-    m2_ = 0.0;
+    sum_ = 0;
+    sumSq_ = 0;
     buckets_.fill(0);
 }
 
 void
 Histogram::serialize(BinaryWriter &out) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    out.put(count_);
-    out.put(min_);
-    out.put(max_);
-    out.put(mean_);
-    out.put(m2_);
-    out.put<uint64_t>(kNumBuckets);
-    for (uint64_t b : buckets_)
-        out.put(b);
+    snapshot().serialize(out);
 }
 
 void
 Histogram::deserialize(BinaryReader &in)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    count_ = in.get<uint64_t>();
-    min_ = in.get<uint64_t>();
-    max_ = in.get<uint64_t>();
-    mean_ = in.get<double>();
-    m2_ = in.get<double>();
-    const uint64_t n = in.get<uint64_t>();
-    PSCA_ASSERT(n == kNumBuckets,
+    HistogramSnapshot s;
+    const bool ok = s.deserialize(in);
+    PSCA_ASSERT(ok,
                 "histogram bucket-count mismatch (stale format?)");
-    for (auto &b : buckets_)
-        b = in.get<uint64_t>();
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ = s.count;
+    min_ = s.min;
+    max_ = s.max;
+    sum_ = s.sum;
+    sumSq_ = s.sumSq;
+    buckets_ = s.buckets;
 }
 
 StatRegistry &
@@ -182,81 +319,48 @@ StatRegistry::reset()
         h->reset();
 }
 
+void
+StatRegistry::forEachCounter(
+    const std::function<void(const std::string &, uint64_t)> &fn)
+    const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_)
+        fn(name, c->value());
+}
+
+void
+StatRegistry::forEachGauge(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, g] : gauges_)
+        fn(name, g->value());
+}
+
+void
+StatRegistry::forEachHistogram(
+    const std::function<void(const std::string &, const Histogram &)>
+        &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, h] : histograms_)
+        fn(name, *h);
+}
+
 namespace {
-
-/** Minimal JSON string escaping (names are ASCII identifiers). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Print a double as JSON (finite; non-finite becomes 0). */
-void
-jsonNumber(std::ostream &os, double v)
-{
-    if (!std::isfinite(v))
-        v = 0.0;
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
-    os << buf;
-}
-
-void
-writeHistogramJson(std::ostream &os, const Histogram &h,
-                   const std::string &indent)
-{
-    os << "{\n";
-    os << indent << "  \"count\": " << h.count() << ",\n";
-    os << indent << "  \"min\": " << h.min() << ",\n";
-    os << indent << "  \"max\": " << h.max() << ",\n";
-    os << indent << "  \"mean\": ";
-    jsonNumber(os, h.mean());
-    os << ",\n" << indent << "  \"stddev\": ";
-    jsonNumber(os, h.stddev());
-    os << ",\n";
-    os << indent << "  \"p50\": " << h.percentile(50.0) << ",\n";
-    os << indent << "  \"p95\": " << h.percentile(95.0) << ",\n";
-    os << indent << "  \"p99\": " << h.percentile(99.0) << ",\n";
-    os << indent << "  \"buckets\": [";
-    bool first = true;
-    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-        if (h.bucketCount(i) == 0)
-            continue;
-        if (!first)
-            os << ", ";
-        first = false;
-        os << "[" << Histogram::bucketLowerBound(i) << ", "
-           << h.bucketCount(i) << "]";
-    }
-    os << "]\n" << indent << "}";
-}
 
 void
 writePhaseJson(std::ostream &os, const PhaseNode &node,
                const std::string &indent)
 {
+    const uint64_t calls =
+        node.calls.load(std::memory_order_relaxed);
+    const uint64_t wall_ns =
+        node.wallNs.load(std::memory_order_relaxed);
     os << indent << "{\"name\": \"" << jsonEscape(node.name)
-       << "\", \"calls\": " << node.calls << ", \"wall_ms\": ";
-    jsonNumber(os, static_cast<double>(node.wallNs) / 1e6);
+       << "\", \"calls\": " << calls << ", \"wall_ms\": ";
+    jsonNumber(os, static_cast<double>(wall_ns) / 1e6);
     if (node.children.empty()) {
         os << "}";
         return;
@@ -277,9 +381,13 @@ writePhaseText(std::ostream &os, const PhaseNode &node, int depth)
     for (int i = 0; i < depth; ++i)
         os << "  ";
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%10.3f ms  x%-8llu ",
-                  static_cast<double>(node.wallNs) / 1e6,
-                  static_cast<unsigned long long>(node.calls));
+    std::snprintf(
+        buf, sizeof(buf), "%10.3f ms  x%-8llu ",
+        static_cast<double>(
+            node.wallNs.load(std::memory_order_relaxed)) /
+            1e6,
+        static_cast<unsigned long long>(
+            node.calls.load(std::memory_order_relaxed)));
     os << buf << node.name << "\n";
     for (const auto &child : node.children)
         writePhaseText(os, *child, depth + 1);
@@ -291,41 +399,30 @@ void
 StatRegistry::writeJson(std::ostream &os,
                         const std::string &report_name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Delegating the stat sections to the snapshot codec guarantees a
+    // merged-snapshot report and a live-registry report are the same
+    // bytes (the §12 merge contract); capture() takes the registry
+    // lock internally.
+    StatSnapshot snap;
+    snap.capture(*this);
     os << "{\n";
     os << "  \"report\": \"" << jsonEscape(report_name) << "\",\n";
     os << "  \"schema\": 1,\n";
+    snap.writeSections(os, /*trailing_comma=*/true);
 
-    os << "  \"counters\": {";
-    bool first = true;
-    for (const auto &[name, c] : counters_) {
-        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
-           << "\": " << c->value();
-        first = false;
-    }
-    os << (first ? "" : "\n  ") << "},\n";
+    // Structured events ride along only when something was logged, so
+    // an event-free run's report keeps the pre-§12 byte layout.
+    EventLog::instance().writeReportSection(os);
 
-    os << "  \"gauges\": {";
-    first = true;
-    for (const auto &[name, g] : gauges_) {
-        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
-           << "\": ";
-        jsonNumber(os, g->value());
-        first = false;
-    }
-    os << (first ? "" : "\n  ") << "},\n";
+    os << "  \"phases\": ";
+    writePhaseTreeJson(os);
+    os << "\n}\n";
+}
 
-    os << "  \"histograms\": {";
-    first = true;
-    for (const auto &[name, h] : histograms_) {
-        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
-           << "\": ";
-        writeHistogramJson(os, *h, "    ");
-        first = false;
-    }
-    os << (first ? "" : "\n  ") << "},\n";
-
-    os << "  \"phases\": [\n";
+void
+writePhaseTreeJson(std::ostream &os)
+{
+    os << "[\n";
     // Freeze the phase tree for the whole traversal: a straggler
     // scope closing on another thread must not mutate nodes mid-dump.
     const auto tree_lock = PhaseTracer::instance().lockTree();
@@ -336,7 +433,7 @@ StatRegistry::writeJson(std::ostream &os,
             os << ",";
         os << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ]";
 }
 
 bool

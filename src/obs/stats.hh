@@ -2,9 +2,9 @@
  * @file
  * Process-wide performance-statistics registry: named counters,
  * gauges, and log2-bucketed value/duration histograms (elbencho-style
- * buckets with min/max, Welford mean/variance, and percentile
- * queries), dumped as a machine-readable JSON run report or a human
- * text table at the end of a run.
+ * buckets with min/max, exact integer moment sums for mean/variance,
+ * and percentile queries), dumped as a machine-readable JSON run
+ * report or a human text table at the end of a run.
  *
  * Design constraints (see DESIGN.md, "Observability overhead" and
  * §8 "Concurrency architecture"):
@@ -22,10 +22,16 @@
  *    sum regardless of thread count. Gauges are relaxed atomics.
  *    Histograms take a private mutex per add(): they are recorded at
  *    decision granularity (once per tens of thousands of simulated
- *    instructions), where an uncontended lock is noise. Histogram
- *    Welford moments merge in arrival order, so their low-order
- *    float bits are the one stat NOT covered by the bit-identity
- *    contract; counts, min/max, and bucket totals are exact.
+ *    instructions), where an uncontended lock is noise. Moments are
+ *    kept as exact 128-bit integer sums (value and value squared), so
+ *    mean/variance are order-invariant, covered by the bit-identity
+ *    contract, and merge deterministically across shards: any merge
+ *    order of per-shard snapshots reproduces the single-registry
+ *    report byte for byte (DESIGN.md §12).
+ *  - Every stat is mergeable: Counter/Gauge/Histogram values combine
+ *    through StatSnapshot (obs/snapshot.hh) with commutative,
+ *    associative rules (sum / max / exact bucket+moment sums), the
+ *    primitive the distributed coordinator consumes.
  */
 
 #ifndef PSCA_OBS_STATS_HH
@@ -35,6 +41,7 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -47,6 +54,16 @@ class BinaryReader;
 class BinaryWriter;
 
 namespace obs {
+
+/**
+ * Exact 128-bit accumulator for histogram moments. Addition is
+ * commutative and associative (mod 2^128 on overflow, which takes
+ * ~4e9 samples at the moment clamp), so accumulation order — and
+ * snapshot merge order — can never perturb the derived mean/variance.
+ */
+using Uint128 = unsigned __int128;
+
+struct HistogramSnapshot;
 
 /**
  * Monotonically increasing event count, sharded so concurrent
@@ -119,8 +136,9 @@ class Gauge
  * bucket width is 1/kBucketFraction (25%) everywhere — percentile
  * queries are exact in the linear region and within one bucket width
  * (a factor of 1.25) beyond it. Alongside the buckets the histogram
- * keeps exact min/max and an online (Welford) mean/variance, which
- * are unaffected by bucketing.
+ * keeps exact min/max and exact integer moment sums (values saturate
+ * at 2^kMaxLog2 for the moments, matching the bucket clamp), from
+ * which mean/variance derive deterministically.
  */
 class Histogram
 {
@@ -134,6 +152,9 @@ class Histogram
     static constexpr size_t kNumBuckets =
         kLinearMax + (kMaxLog2 - 3) * kBucketFraction;
 
+    /** Values at-or-above this saturate in the moment sums. */
+    static constexpr uint64_t kMomentClamp = 1ULL << kMaxLog2;
+
     void
     add(uint64_t v)
     {
@@ -144,10 +165,9 @@ class Histogram
             min_ = v;
         if (v > max_)
             max_ = v;
-        const double x = static_cast<double>(v);
-        const double d = x - mean_;
-        mean_ += d / static_cast<double>(count_);
-        m2_ += d * (x - mean_);
+        const uint64_t m = v < kMomentClamp ? v : kMomentClamp;
+        sum_ += m;
+        sumSq_ += static_cast<Uint128>(m) * m;
     }
 
     uint64_t
@@ -171,20 +191,10 @@ class Histogram
         return max_;
     }
 
-    double
-    mean() const
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        return mean_;
-    }
+    double mean() const;
 
-    /** Population variance (m2 / n). */
-    double
-    variance() const
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        return count_ ? m2_ / static_cast<double>(count_) : 0.0;
-    }
+    /** Population variance (E[x^2] - E[x]^2, clamped at 0). */
+    double variance() const;
 
     double stddev() const;
 
@@ -241,18 +251,56 @@ class Histogram
 
     void reset();
 
+    /** Consistent copy of every field for merging/serialization. */
+    HistogramSnapshot snapshot() const;
+
+    /** Fold another histogram's samples in (sharded aggregation). */
+    void merge(const HistogramSnapshot &other);
+
     /** Binary round-trip in the serialize.hh cache idiom. */
     void serialize(BinaryWriter &out) const;
     void deserialize(BinaryReader &in);
 
   private:
+    friend struct HistogramSnapshot;
+
     mutable std::mutex mu_; //!< guards every field below
     uint64_t count_ = 0;
     uint64_t min_ = UINT64_MAX;
     uint64_t max_ = 0;
-    double mean_ = 0.0;
-    double m2_ = 0.0; //!< Welford sum of squared deviations
+    Uint128 sum_ = 0;   //!< exact sum of (clamped) values
+    Uint128 sumSq_ = 0; //!< exact sum of (clamped) squares
     std::array<uint64_t, kNumBuckets> buckets_{};
+};
+
+/**
+ * Plain-data copy of a Histogram, the unit of cross-shard merging.
+ * merge() is commutative and associative, so folding N shards in any
+ * order yields bit-identical state — and therefore byte-identical
+ * derived mean/variance/percentiles in reports.
+ */
+struct HistogramSnapshot
+{
+    uint64_t count = 0;
+    uint64_t min = UINT64_MAX;
+    uint64_t max = 0;
+    Uint128 sum = 0;
+    Uint128 sumSq = 0;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+
+    /** Same bucket-midpoint percentile as Histogram::percentile(). */
+    uint64_t percentile(double p) const;
+
+    void merge(const HistogramSnapshot &other);
+
+    void serialize(BinaryWriter &out) const;
+
+    /** False (with the reader failed) on a bucket-layout mismatch. */
+    bool deserialize(BinaryReader &in);
 };
 
 /**
@@ -263,6 +311,13 @@ class Histogram
 class StatRegistry
 {
   public:
+    /**
+     * Registries are constructible standalone (shard-local
+     * aggregation, tests); instance() remains the process-wide one
+     * that reports and hot-path call sites use.
+     */
+    StatRegistry() = default;
+
     static StatRegistry &instance();
 
     /** Find-or-create; the reference is valid for process lifetime. */
@@ -277,6 +332,21 @@ class StatRegistry
 
     /** Zero every stat's value; registered objects stay alive. */
     void reset();
+
+    /**
+     * Visit every stat (sorted by name, under the registry lock; the
+     * callbacks must not touch the registry). Values are read at
+     * visit time — quiesce writers first for an exact snapshot.
+     */
+    void forEachCounter(
+        const std::function<void(const std::string &, uint64_t)> &fn)
+        const;
+    void forEachGauge(
+        const std::function<void(const std::string &, double)> &fn)
+        const;
+    void forEachHistogram(
+        const std::function<void(const std::string &,
+                                 const Histogram &)> &fn) const;
 
     /**
      * Write the full run report (counters, gauges, histogram
@@ -297,13 +367,18 @@ class StatRegistry
     void dumpText(std::ostream &os) const;
 
   private:
-    StatRegistry() = default;
-
     mutable std::mutex mu_; //!< guards the maps during registration
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/**
+ * The report's "phases" array ("[\n    {...}\n  ]", report
+ * indentation), shared by StatRegistry::writeJson and the /phases
+ * endpoint. Takes the tracer's tree lock for the traversal.
+ */
+void writePhaseTreeJson(std::ostream &os);
 
 } // namespace obs
 } // namespace psca

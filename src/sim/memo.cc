@@ -10,6 +10,7 @@
 #include "common/rng.hh"
 #include "common/serialize.hh"
 #include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "telemetry/counters.hh"
 
 namespace psca {
@@ -139,6 +140,7 @@ SimMemo::lookup(const MemoKey &key, MemoIntervals &out) const
          kIoAttempts, " attempts; resimulating");
     reg.counter("memo.io_giveups").add();
     reg.counter("memo.misses").add();
+    obs::traceInstant("memo.miss");
     return false;
 }
 
@@ -155,6 +157,7 @@ SimMemo::readMemoFile(const std::string &path, const MemoKey &key,
         if (q.collided)
             reg.counter("memo.quarantine_collisions").add();
         reg.counter("memo.misses").add();
+        obs::traceInstant("memo.miss");
         return false;
     };
 
@@ -162,6 +165,7 @@ SimMemo::readMemoFile(const std::string &path, const MemoKey &key,
     if (!in.good()) {
         // Plain cold miss: nothing on disk to quarantine.
         reg.counter("memo.misses").add();
+        obs::traceInstant("memo.miss");
         return false;
     }
 
@@ -204,6 +208,7 @@ SimMemo::readMemoFile(const std::string &path, const MemoKey &key,
         return corrupt("checksum mismatch");
     out = std::move(intervals);
     reg.counter("memo.hits").add();
+    obs::traceInstant("memo.hit");
     return true;
 }
 
@@ -260,6 +265,7 @@ SimMemo::store(const MemoKey &key, const MemoIntervals &intervals) const
             return;
         }
         reg.counter("memo.stores").add();
+        obs::traceInstant("memo.store");
         return;
     }
     warn("memo '", path, "': transient IO error persisted across ",

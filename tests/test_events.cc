@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the bounded structured event log (obs/events.hh):
+ * capacity bounding with deterministic drop-oldest, the common-layer
+ * emitEvent() bridge, report-section byte-identity when no event was
+ * logged, JSON shape, and concurrent appends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/events.hh"
+
+using namespace psca;
+using obs::EventLog;
+
+TEST(EventLog, CapacityBoundDropsOldest)
+{
+    EventLog log(16);
+    for (int i = 0; i < 40; ++i)
+        log.log("test", LogLevel::Info,
+                "event " + std::to_string(i));
+    EXPECT_EQ(log.logged(), 40u);
+    EXPECT_EQ(log.dropped(), 24u);
+    EXPECT_EQ(log.size(), 16u);
+
+    // Deterministic tail: the oldest 24 went, the newest 16 remain
+    // in order with their original sequence numbers.
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 16u);
+    EXPECT_EQ(events.front().seq, 24u);
+    EXPECT_EQ(events.back().seq, 39u);
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_EQ(events.back().msg, "event 39");
+    EXPECT_EQ(events.back().category, "test");
+}
+
+TEST(EventLog, EmitEventBridgesToProcessLog)
+{
+    EventLog &log = EventLog::instance();
+    const uint64_t before = log.logged();
+    emitEvent("bridge_test", LogLevel::Warn, "through the hook");
+    EXPECT_EQ(log.logged(), before + 1);
+    const auto events = log.snapshot();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.back().category, "bridge_test");
+    EXPECT_EQ(events.back().msg, "through the hook");
+    EXPECT_EQ(events.back().level, LogLevel::Warn);
+}
+
+TEST(EventLog, ReportSectionAbsentWhenEmpty)
+{
+    // Event-free runs must keep the prior report byte layout: the
+    // section writer emits nothing at all.
+    EventLog log(16);
+    std::ostringstream os;
+    log.writeReportSection(os);
+    EXPECT_EQ(os.str(), "");
+
+    log.log("test", LogLevel::Info, "now there is one");
+    std::ostringstream os2;
+    log.writeReportSection(os2);
+    EXPECT_NE(os2.str().find("\"events\""), std::string::npos);
+}
+
+TEST(EventLog, JsonShape)
+{
+    EventLog log(16);
+    log.log("guardrail", LogLevel::Warn, "trip #1");
+    log.log("checkpoint", LogLevel::Info, "resume: 3/7 \"units\"");
+    std::ostringstream os;
+    log.writeJson(os, "");
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"logged\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"level\": \"warn\""), std::string::npos);
+    EXPECT_NE(json.find("\"level\": \"info\""), std::string::npos);
+    EXPECT_NE(json.find("\"category\": \"guardrail\""),
+              std::string::npos);
+    // The quote in the message must come out escaped.
+    EXPECT_NE(json.find("3/7 \\\"units\\\""), std::string::npos);
+}
+
+TEST(EventLog, LevelNames)
+{
+    EXPECT_STREQ(obs::eventLevelName(LogLevel::Debug), "debug");
+    EXPECT_STREQ(obs::eventLevelName(LogLevel::Info), "info");
+    EXPECT_STREQ(obs::eventLevelName(LogLevel::Warn), "warn");
+}
+
+TEST(EventLog, ClearForgetsEverything)
+{
+    EventLog log(16);
+    for (int i = 0; i < 20; ++i)
+        log.log("test", LogLevel::Info, "x");
+    log.clear();
+    EXPECT_EQ(log.logged(), 0u);
+    EXPECT_EQ(log.dropped(), 0u);
+    EXPECT_EQ(log.size(), 0u);
+    // Sequence numbering restarts.
+    log.log("test", LogLevel::Info, "fresh");
+    EXPECT_EQ(log.snapshot().front().seq, 0u);
+}
+
+TEST(EventLog, ConcurrentAppendsAreAllCounted)
+{
+    EventLog log(64);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&log, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                log.log("worker", LogLevel::Info,
+                        std::to_string(t) + ":" + std::to_string(i));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(log.logged(), uint64_t(kThreads) * kPerThread);
+    EXPECT_EQ(log.size(), 64u);
+    EXPECT_EQ(log.dropped(), uint64_t(kThreads) * kPerThread - 64);
+    // Sequence numbers are unique and strictly increasing.
+    const auto events = log.snapshot();
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_LT(events[i - 1].seq, events[i].seq);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the span-trace exporter (obs/trace.hh): disabled tracing
+ * is a no-op that records nothing, enabled tracing captures phase
+ * scopes (with args), pool-task spans, and instant markers, and
+ * finalize() writes a Chrome/Perfetto trace-event JSON file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/parallel.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
+
+using namespace psca;
+using obs::ScopedPhase;
+using obs::SpanArg;
+using obs::TraceLog;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+// Declaration order matters: the disabled-state test must run before
+// any test calls enable() on the process-wide log.
+TEST(TraceExport, DisabledRecordsNothing)
+{
+    TraceLog &log = TraceLog::instance();
+    ASSERT_FALSE(log.enabled()) << "PSCA_TRACE must be unset in tests";
+    const uint64_t before = log.recorded();
+    {
+        ScopedPhase phase("never_recorded");
+        obs::traceInstant("never_recorded.marker");
+        log.span("explicit", 0, 100, nullptr, 0);
+    }
+    EXPECT_EQ(log.recorded(), before);
+}
+
+TEST(TraceExport, FinalizeWritesChromeTraceJson)
+{
+    const std::string path = "/tmp/psca_trace_export_test.json";
+    std::remove(path.c_str());
+
+    TraceLog &log = TraceLog::instance();
+    log.enable(path);
+    ASSERT_TRUE(log.enabled());
+    EXPECT_EQ(log.path(), path);
+
+    {
+        ScopedPhase outer("trace_test.outer");
+        {
+            ScopedPhase inner("trace_test.inner",
+                              {{"fold", 3}, {"items", 64}});
+        }
+        obs::traceInstant("trace_test.marker", SpanArg{"key", 7});
+    }
+
+    // Pool tasks get their own spans (the serial fast path bypasses
+    // the hooks, so force a real pool).
+    ThreadPool::configure(2);
+    ThreadPool::instance().parallelFor(8, [](size_t) {});
+
+    const uint64_t recorded = log.recorded();
+    EXPECT_GE(recorded, 4u); // outer, inner, marker, pool tasks
+
+    log.finalize();
+    EXPECT_FALSE(log.enabled());
+
+    const std::string json = slurp(path);
+    ASSERT_FALSE(json.empty());
+    // Chrome trace-event envelope.
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    // Complete spans, with the scope args attached.
+    EXPECT_NE(json.find("\"name\": \"trace_test.inner\", "
+                        "\"ph\": \"X\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"fold\": 3, \"items\": 64}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"trace_test.outer\""),
+              std::string::npos);
+    // Instant marker with scope hint and its arg.
+    EXPECT_NE(json.find("\"name\": \"trace_test.marker\", "
+                        "\"ph\": \"i\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"key\": 7}"), std::string::npos);
+    // Pool-task spans from the parallel region.
+    EXPECT_NE(json.find("\"name\": \"pool.task\""), std::string::npos);
+    // Every event carries dur (spans) or s (instants), ts, pid, tid.
+    EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+
+    // Balanced braces/brackets — a cheap structural sanity check
+    // (tools/check_trace.py does the full parse in CI).
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    std::remove(path.c_str());
+}
+
+TEST(TraceExport, ReenableAfterFinalizeWorks)
+{
+    const std::string path = "/tmp/psca_trace_export_test2.json";
+    std::remove(path.c_str());
+
+    TraceLog &log = TraceLog::instance();
+    ASSERT_FALSE(log.enabled()); // previous test finalized
+    log.enable(path);
+    const uint64_t before = log.recorded();
+    {
+        ScopedPhase phase("trace_test.second_run");
+    }
+    EXPECT_GT(log.recorded(), before);
+    log.finalize();
+
+    const std::string json = slurp(path);
+    EXPECT_NE(json.find("trace_test.second_run"), std::string::npos);
+    // The first file's events were flushed and cleared: no bleed.
+    EXPECT_EQ(json.find("trace_test.outer"), std::string::npos);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a PSCA_TRACE output file against the Chrome trace-event
+format (the subset Perfetto / chrome://tracing loads).
+
+Usage: check_trace.py <trace.json> [--min-events N]
+                      [--require-name NAME ...]
+
+Checks:
+  * the file is valid JSON with a top-level "traceEvents" array
+    (object-form envelope, displayTimeUnit optional but validated),
+  * every event has a string "name", a known "ph", integer pid/tid,
+    and a numeric non-negative "ts",
+  * complete events (ph "X") carry a non-negative numeric "dur",
+    instants (ph "i") carry a valid scope "s",
+  * "args", when present, is an object,
+  * timestamps are monotonically non-decreasing in file order (the
+    exporter sorts before writing),
+  * at least --min-events real events (metadata excluded) exist, and
+    every --require-name appears.
+
+Exits 0 when the trace is loadable, 1 with one line per defect.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+KNOWN_PHASES = {"X", "i", "I", "B", "E", "M", "C", "b", "e", "n", "s",
+                "t", "f"}
+INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def check(path, min_events, require_names):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not loadable JSON: {e}"]
+
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        unit = doc.get("displayTimeUnit")
+        if unit is not None and unit not in ("ms", "ns"):
+            errors.append(f"bad displayTimeUnit {unit!r}")
+    elif isinstance(doc, list):
+        events = doc  # array form is also legal
+    else:
+        return [f"{path}: top level must be an object or array"]
+    if not isinstance(events, list):
+        return [f"{path}: \"traceEvents\" missing or not an array"]
+
+    seen_names = set()
+    real_events = 0
+    last_ts = None
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty name")
+            name = "?"
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where} ({name}): unknown ph {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                errors.append(f"{where} ({name}): {field} not an int")
+        if ph == "M":
+            continue  # metadata: no ts required
+        seen_names.add(name)
+        real_events += 1
+        ts = ev.get("ts")
+        if not isinstance(ts, numbers.Real) or ts < 0:
+            errors.append(f"{where} ({name}): bad ts {ts!r}")
+        else:
+            if last_ts is not None and ts < last_ts:
+                errors.append(
+                    f"{where} ({name}): ts {ts} < previous {last_ts}"
+                    " (exporter must sort)")
+            last_ts = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, numbers.Real) or dur < 0:
+                errors.append(f"{where} ({name}): bad dur {dur!r}")
+        if ph == "i" and ev.get("s", "t") not in INSTANT_SCOPES:
+            errors.append(
+                f"{where} ({name}): bad instant scope {ev.get('s')!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where} ({name}): args not an object")
+
+    if real_events < min_events:
+        errors.append(f"only {real_events} events "
+                      f"(expected >= {min_events})")
+    for want in require_names:
+        if want not in seen_names:
+            errors.append(f"required event name {want!r} not found")
+    if not errors:
+        print(f"{path}: OK ({real_events} events, "
+              f"{len(seen_names)} distinct names)")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1)
+    ap.add_argument("--require-name", action="append", default=[],
+                    metavar="NAME",
+                    help="event name that must appear at least once")
+    args = ap.parse_args()
+    errors = check(args.trace, args.min_events, args.require_name)
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,9 @@ DEFAULT_IGNORE = [
     "sim.",      # raw simulation work counters
     "fault.",    # fault-site fires track executed sites
     "uc.",       # firmware VM op/inference counts
+    "trace.",    # span-trace event/drop accounting (telemetry plane)
+    "events.",   # structured event-log accounting
+    "http.",     # live-endpoint request counts
 ]
 
 
