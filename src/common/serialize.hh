@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,14 +42,22 @@ fnv1aUpdate(uint64_t h, const void *data, size_t n)
 
 constexpr uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
 
-/** Streaming binary writer over a file. */
+/**
+ * Streaming binary writer over a file, or — default-constructed —
+ * over an in-memory buffer (takeBuffer()). The memory mode is how
+ * unit payloads are built for the distribution protocol without a
+ * temp-file round trip; both modes feed the same running checksum.
+ */
 class BinaryWriter
 {
   public:
+    /** In-memory writer; collect the bytes with takeBuffer(). */
+    BinaryWriter() : out_(&mem_) {}
+
     explicit BinaryWriter(const std::string &path)
-        : out_(path, std::ios::binary)
+        : file_(path, std::ios::binary), out_(&file_)
     {
-        if (!out_)
+        if (!file_)
             fatal("cannot open '", path, "' for writing");
     }
 
@@ -79,6 +88,13 @@ class BinaryWriter
         putRaw(s.data(), s.size());
     }
 
+    /** Write raw bytes (an already-serialized blob), checksummed. */
+    void
+    putBytes(const void *data, size_t n)
+    {
+        putRaw(data, n);
+    }
+
     /**
      * Append the running checksum over everything written so far as
      * the file's final word. Must be the last write.
@@ -87,11 +103,15 @@ class BinaryWriter
     putChecksumTrailer()
     {
         const uint64_t sum = checksum_;
-        out_.write(reinterpret_cast<const char *>(&sum), sizeof(sum));
+        out_->write(reinterpret_cast<const char *>(&sum),
+                    sizeof(sum));
     }
 
     /** Checksum over the bytes written so far. */
     uint64_t checksum() const { return checksum_; }
+
+    /** Steal the accumulated bytes (memory mode only). */
+    std::string takeBuffer() { return std::move(mem_).str(); }
 
     /**
      * True when every write so far reached the stream. Callers must
@@ -102,39 +122,51 @@ class BinaryWriter
     bool
     good()
     {
-        out_.flush();
-        return static_cast<bool>(out_);
+        out_->flush();
+        return static_cast<bool>(*out_);
     }
 
   private:
     void
     putRaw(const void *data, size_t n)
     {
-        out_.write(static_cast<const char *>(data),
-                   static_cast<std::streamsize>(n));
+        out_->write(static_cast<const char *>(data),
+                    static_cast<std::streamsize>(n));
         checksum_ = fnv1aUpdate(checksum_, data, n);
     }
 
-    std::ofstream out_;
+    std::ofstream file_;
+    std::ostringstream mem_;
+    std::ostream *out_;
     uint64_t checksum_ = kFnv1aBasis;
 };
 
-/** Streaming binary reader over a file. */
+/**
+ * Streaming binary reader over a file, or over an in-memory byte
+ * range (protocol payloads). Allocation bounds and the running
+ * checksum behave identically in both modes.
+ */
 class BinaryReader
 {
   public:
     explicit BinaryReader(const std::string &path)
-        : in_(path, std::ios::binary)
+        : file_(path, std::ios::binary), in_(&file_)
     {
-        if (in_) {
-            in_.seekg(0, std::ios::end);
-            fileSize_ = static_cast<uint64_t>(in_.tellg());
-            in_.seekg(0, std::ios::beg);
+        if (file_) {
+            file_.seekg(0, std::ios::end);
+            fileSize_ = static_cast<uint64_t>(file_.tellg());
+            file_.seekg(0, std::ios::beg);
         }
     }
 
-    /** True if the file opened and no read error has occurred. */
-    bool good() const { return static_cast<bool>(in_); }
+    /** In-memory reader over a copy of @p n bytes at @p data. */
+    BinaryReader(const void *data, size_t n)
+        : mem_(std::string(static_cast<const char *>(data), n)),
+          in_(&mem_), fileSize_(n)
+    {}
+
+    /** True if the source opened and no read error has occurred. */
+    bool good() const { return static_cast<bool>(*in_); }
 
     /** Total file size in bytes (0 when the open failed). */
     uint64_t fileSize() const { return fileSize_; }
@@ -160,7 +192,7 @@ class BinaryReader
         // Bound the allocation by what the file can actually hold: a
         // corrupted prefix must fail the read, not exhaust memory.
         if (!fits(n * sizeof(T))) {
-            in_.setstate(std::ios::failbit);
+            in_->setstate(std::ios::failbit);
             return {};
         }
         std::vector<T> v(n);
@@ -174,7 +206,7 @@ class BinaryReader
     {
         const auto n = get<uint64_t>();
         if (!fits(n)) {
-            in_.setstate(std::ios::failbit);
+            in_->setstate(std::ios::failbit);
             return {};
         }
         std::string s(n, '\0');
@@ -192,15 +224,15 @@ class BinaryReader
     {
         const uint64_t expect = checksum_;
         uint64_t stored = 0;
-        in_.read(reinterpret_cast<char *>(&stored), sizeof(stored));
-        return static_cast<bool>(in_) && stored == expect;
+        in_->read(reinterpret_cast<char *>(&stored), sizeof(stored));
+        return static_cast<bool>(*in_) && stored == expect;
     }
 
   private:
     bool
     fits(uint64_t bytes) const
     {
-        const auto pos = const_cast<std::ifstream &>(in_).tellg();
+        const auto pos = in_->tellg();
         if (pos < 0)
             return false;
         return bytes <= fileSize_ - static_cast<uint64_t>(pos);
@@ -209,13 +241,15 @@ class BinaryReader
     void
     getRaw(void *data, size_t n)
     {
-        in_.read(static_cast<char *>(data),
-                 static_cast<std::streamsize>(n));
-        if (in_)
+        in_->read(static_cast<char *>(data),
+                  static_cast<std::streamsize>(n));
+        if (*in_)
             checksum_ = fnv1aUpdate(checksum_, data, n);
     }
 
-    std::ifstream in_;
+    std::ifstream file_;
+    std::istringstream mem_;
+    std::istream *in_;
     uint64_t fileSize_ = 0;
     uint64_t checksum_ = kFnv1aBasis;
 };

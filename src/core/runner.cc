@@ -14,6 +14,7 @@
 #include "common/env.hh"
 #include "common/journal.hh"
 #include "common/logging.hh"
+#include "dist/dist.hh"
 #include "obs/http.hh"
 #include "obs/trace.hh"
 
@@ -185,6 +186,10 @@ guardedMain(const std::function<int()> &body)
     // endpoint starts if PSCA_HTTP_PORT is set.
     obs::TraceLog::instance();
     obs::HttpServer::maybeStartFromEnv();
+    // Join the fleet (or start serving one) if PSCA_DIST_ROLE says
+    // so; a no-op otherwise. Must come after the telemetry plane so
+    // dist gauges and spans land in it.
+    dist::maybeInitFromEnv();
     const double linger_s =
         env::doubleOr("PSCA_HTTP_LINGER_S", 0.0, 0.0, 86400.0);
 
@@ -215,6 +220,11 @@ guardedMain(const std::function<int()> &body)
         }
         watchdog.stop();
     }
+
+    // Leave the fleet before the telemetry plane goes down: the
+    // coordinator broadcasts Shutdown (and withdraws its address
+    // file), a worker sends Bye.
+    dist::shutdown();
 
     // Orderly telemetry shutdown: optionally hold the live endpoint
     // open so a scraper can take a final reading, then stop it and

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fleet coordinator: owns the listen socket, tracks worker
+ * connections, and serves each Distributed checkpoint scope — unit
+ * assignment, result collection (journaled through
+ * Journal::commitUnitPayload so worker death is recovered by
+ * reassigning anything not yet journaled), checkpoint fetches for
+ * workers that need peers' results, and the scope-leave barrier that
+ * guarantees no whole-scope artifact is published while a worker is
+ * still fetching.
+ *
+ * Single-threaded: the coordinator only serves sockets while it is
+ * inside a Distributed scope (its own pipeline thread runs the serve
+ * loop). Between scopes, worker frames queue in kernel socket
+ * buffers; connection attempts sit in the listen backlog. The
+ * request-reply protocol (dist/protocol.hh) keeps at most one frame
+ * in flight per worker per direction, so the poll loop never has to
+ * interleave partial frames.
+ */
+
+#ifndef PSCA_DIST_COORDINATOR_HH
+#define PSCA_DIST_COORDINATOR_HH
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.hh"
+
+namespace psca {
+
+class BinaryReader;
+class BinaryWriter;
+class Journal;
+
+namespace dist {
+
+class Coordinator
+{
+  public:
+    /**
+     * Bind and listen. @p addr_spec is "host:port" or "auto"
+     * (ephemeral 127.0.0.1 port published to @p addr_file).
+     * listening() is false when the bind failed — the campaign then
+     * simply runs locally.
+     */
+    Coordinator(const std::string &addr_spec,
+                const std::string &addr_file, int expected_workers,
+                double connect_timeout_s, double heartbeat_timeout_s);
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    bool listening() const { return listenFd_ >= 0; }
+
+    /** Resolved "host:port" actually bound. */
+    const std::string &address() const { return address_; }
+
+    /**
+     * Serve one Distributed scope (the Journal hook body). Returns
+     * true when every pending unit was received, journaled, and
+     * loaded into its slot; false to make the caller fall back to
+     * the local execution path (no workers, or all of them died).
+     */
+    bool runScope(
+        Journal &journal, const std::string &scope, uint64_t config_h,
+        size_t n, const std::vector<size_t> &pending,
+        const std::function<bool(size_t, BinaryReader &)> &load_unit,
+        const std::function<void(size_t, BinaryWriter &)> &save_unit);
+
+    /** Broadcast Shutdown, close every socket, remove the addr file. */
+    void shutdown();
+
+    /**
+     * Merge the latest snapshot shipped by every worker (ScopeLeave
+     * carries a cumulative registry snapshot) into @p snap — the
+     * /stats.json aggregation path. Thread-safe against the serve
+     * loop.
+     */
+    void augmentSnapshot(obs::StatSnapshot &snap);
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        uint32_t id = 0;
+        uint32_t threads = 1;
+        bool helloed = false;
+        bool inScope = false; //!< entered the scope being served
+        bool left = false;    //!< sent ScopeLeave for it
+        std::vector<uint64_t> assigned;
+        std::chrono::steady_clock::time_point lastSeen;
+    };
+
+    /** Transient state of the scope currently being served. */
+    struct Scope
+    {
+        Journal *journal = nullptr;
+        std::string name;
+        uint64_t scopeHash = 0;
+        uint64_t configHash = 0;
+        size_t n = 0;
+        size_t doneCount = 0; //!< journaled (pre-loaded + received)
+        std::deque<uint64_t> queue;
+        std::set<uint64_t> doneSet;
+        const std::function<bool(size_t, BinaryReader &)> *loadUnit =
+            nullptr;
+    };
+
+    void acceptNew();
+    /** Handle one frame from conns_[idx]; false drops the worker. */
+    bool handleFrame(size_t idx, Scope &ss);
+    void dropWorker(size_t idx, const char *why, Scope *ss);
+    void checkLiveness(Scope &ss);
+    size_t liveWorkers() const;
+    bool assignmentGateOpen();
+
+    std::string address_;
+    std::string addrFile_;
+    int listenFd_ = -1;
+    int expectedWorkers_ = 1;
+    double connectTimeoutS_ = 60.0;
+    double heartbeatTimeoutS_ = 30.0;
+    bool joinWaited_ = false;
+    std::chrono::steady_clock::time_point joinDeadline_;
+    uint32_t nextWorkerId_ = 1;
+    uint32_t joined_ = 0;
+    std::vector<Conn> conns_;
+    /**
+     * (scope, config, n) keys of every scope already served (or
+     * locally computed after fallback). A ScopeEnter for one of
+     * these is a LAGGING worker — it is told to run the scope
+     * locally and catch up. A ScopeEnter for an unknown scope is a
+     * worker AHEAD of the coordinator — it is told to wait and
+     * retry, because the lockstep pipeline guarantees the
+     * coordinator will reach that scope.
+     */
+    std::set<uint64_t> served_;
+
+    std::mutex snapMu_; //!< guards workerSnapshots_
+    std::map<uint32_t, obs::StatSnapshot> workerSnapshots_;
+};
+
+} // namespace dist
+} // namespace psca
+
+#endif // PSCA_DIST_COORDINATOR_HH

@@ -1,0 +1,182 @@
+#include "dist/protocol.hh"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/serialize.hh"
+
+namespace psca {
+namespace dist {
+
+const char *
+msgName(Msg m)
+{
+    switch (m) {
+      case Msg::Hello:
+        return "Hello";
+      case Msg::ScopeEnter:
+        return "ScopeEnter";
+      case Msg::Poll:
+        return "Poll";
+      case Msg::Result:
+        return "Result";
+      case Msg::Fetch:
+        return "Fetch";
+      case Msg::ScopeLeave:
+        return "ScopeLeave";
+      case Msg::Heartbeat:
+        return "Heartbeat";
+      case Msg::Bye:
+        return "Bye";
+      case Msg::Welcome:
+        return "Welcome";
+      case Msg::Assign:
+        return "Assign";
+      case Msg::Wait:
+        return "Wait";
+      case Msg::ScopeDone:
+        return "ScopeDone";
+      case Msg::Data:
+        return "Data";
+      case Msg::Ack:
+        return "Ack";
+      case Msg::Shutdown:
+        return "Shutdown";
+      case Msg::Error:
+        return "Error";
+    }
+    return "?";
+}
+
+const char *
+recvStatusName(RecvStatus s)
+{
+    switch (s) {
+      case RecvStatus::Ok:
+        return "ok";
+      case RecvStatus::Closed:
+        return "closed";
+      case RecvStatus::Timeout:
+        return "timeout";
+      case RecvStatus::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+bool
+sendAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t wrote =
+            ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+        if (wrote <= 0) {
+            if (wrote < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(wrote);
+    }
+    return true;
+}
+
+namespace {
+
+/**
+ * Read exactly @p n bytes. Returns Ok, or Closed on immediate EOF
+ * when @p eof_ok (a frame boundary), Corrupt on EOF mid-read, and
+ * Timeout when SO_RCVTIMEO expires.
+ */
+RecvStatus
+recvExact(int fd, void *data, size_t n, bool eof_ok)
+{
+    char *p = static_cast<char *>(data);
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t got = ::recv(fd, p + off, n - off, 0);
+        if (got == 0)
+            return off == 0 && eof_ok ? RecvStatus::Closed
+                                      : RecvStatus::Corrupt;
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return RecvStatus::Timeout;
+            return RecvStatus::Corrupt;
+        }
+        off += static_cast<size_t>(got);
+    }
+    return RecvStatus::Ok;
+}
+
+constexpr size_t kHeaderBytes =
+    sizeof(uint32_t) + sizeof(uint8_t) + sizeof(uint32_t);
+
+} // namespace
+
+bool
+sendFrame(int fd, Msg type, const std::string &payload)
+{
+    const uint8_t t = static_cast<uint8_t>(type);
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    std::vector<uint8_t> frame;
+    frame.resize(kHeaderBytes + payload.size() + sizeof(uint64_t));
+    size_t off = 0;
+    std::memcpy(frame.data() + off, &kFrameMagic,
+                sizeof(kFrameMagic));
+    off += sizeof(kFrameMagic);
+    frame[off++] = t;
+    std::memcpy(frame.data() + off, &len, sizeof(len));
+    off += sizeof(len);
+    std::memcpy(frame.data() + off, payload.data(), payload.size());
+    off += payload.size();
+    // The checksum covers (type, len, payload) — everything but the
+    // magic, mirroring the journal's per-frame trailer scheme.
+    uint64_t sum = fnv1aUpdate(kFnv1aBasis, &t, sizeof(t));
+    sum = fnv1aUpdate(sum, &len, sizeof(len));
+    sum = fnv1aUpdate(sum, payload.data(), payload.size());
+    std::memcpy(frame.data() + off, &sum, sizeof(sum));
+    return sendAll(fd, frame.data(), frame.size());
+}
+
+RecvStatus
+recvFrame(int fd, Frame &out)
+{
+    uint8_t header[kHeaderBytes];
+    RecvStatus st = recvExact(fd, header, sizeof(header), true);
+    if (st != RecvStatus::Ok)
+        return st;
+    uint32_t magic = 0;
+    uint32_t len = 0;
+    std::memcpy(&magic, header, sizeof(magic));
+    const uint8_t type = header[sizeof(magic)];
+    std::memcpy(&len, header + sizeof(magic) + 1, sizeof(len));
+    if (magic != kFrameMagic || len > kMaxFramePayload)
+        return RecvStatus::Corrupt;
+
+    out.payload.resize(len);
+    if (len > 0) {
+        st = recvExact(fd, out.payload.data(), len, false);
+        if (st != RecvStatus::Ok)
+            return st;
+    }
+    uint64_t stored = 0;
+    st = recvExact(fd, &stored, sizeof(stored), false);
+    if (st != RecvStatus::Ok)
+        return st;
+    uint64_t sum = fnv1aUpdate(kFnv1aBasis, &type, sizeof(type));
+    sum = fnv1aUpdate(sum, &len, sizeof(len));
+    sum = fnv1aUpdate(sum, out.payload.data(), out.payload.size());
+    if (sum != stored)
+        return RecvStatus::Corrupt;
+    out.type = static_cast<Msg>(type);
+    return RecvStatus::Ok;
+}
+
+} // namespace dist
+} // namespace psca

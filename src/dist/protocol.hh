@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Wire protocol for the coordinator/worker experiment fleet
+ * (DESIGN.md §13): small length-prefixed, checksummed frames over
+ * TCP, reusing the FNV-1a trailer idiom of common/journal.
+ *
+ * Frame layout (little-endian, one sendAll() per frame):
+ *
+ *     u32 magic      "PDST"
+ *     u8  type       Msg enumerator
+ *     u32 len        payload byte count (<= kMaxFramePayload)
+ *     u8  payload[len]
+ *     u64 checksum   FNV-1a 64 over (type, len, payload)
+ *
+ * A frame that fails the magic, the length bound, or the checksum is
+ * Corrupt — the receiver drops the connection rather than guessing
+ * at resynchronization, and the journal-based reassignment protocol
+ * recovers the work. Payloads are built and parsed with the
+ * in-memory BinaryWriter/BinaryReader modes so allocation bounds and
+ * checksums behave exactly as they do for on-disk artifacts.
+ *
+ * The conversation is strict request-reply from the worker's side:
+ * every worker frame except Heartbeat (one-way) and Bye (final) gets
+ * exactly one coordinator reply, so neither end ever has more than
+ * one frame in flight per direction and framing can never interleave.
+ */
+
+#ifndef PSCA_DIST_PROTOCOL_HH
+#define PSCA_DIST_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace psca {
+namespace dist {
+
+constexpr uint32_t kFrameMagic = 0x54534450u; // "PDST"
+constexpr uint32_t kProtocolVersion = 1;
+
+/** Upper bound on one payload (a whole-trace record is ~MBs). */
+constexpr uint32_t kMaxFramePayload = 1u << 28;
+
+/** Frame types. Worker-originated < 32, coordinator replies >= 32. */
+enum class Msg : uint8_t
+{
+    // worker -> coordinator
+    Hello = 1,      //!< protocol version, thread count
+    ScopeEnter = 2, //!< scope hash/config/n/name + assignment request
+    Poll = 3,       //!< request more units (or completion status)
+    Result = 4,     //!< one computed unit's payload
+    Fetch = 5,      //!< request a unit payload this worker lacks
+    ScopeLeave = 6, //!< done fetching; carries the stat snapshot
+    Heartbeat = 7,  //!< one-way liveness while a batch computes
+    Bye = 8,        //!< clean disconnect after the campaign body
+
+    // coordinator -> worker
+    Welcome = 32,   //!< assigns the worker id
+    Assign = 33,    //!< list of unit indices to execute
+    Wait = 34,      //!< nothing to assign yet; re-poll after N ms
+    ScopeDone = 35, //!< every unit of the scope is journaled
+    Data = 36,      //!< one unit's payload (Fetch reply)
+    Ack = 37,       //!< Result/ScopeLeave accepted
+    Shutdown = 38,  //!< coordinator is stopping; exit resumably
+    Error = 39,     //!< protocol/config divergence; drop connection
+};
+
+const char *msgName(Msg m);
+
+/** One decoded frame. */
+struct Frame
+{
+    Msg type = Msg::Error;
+    std::string payload;
+};
+
+enum class RecvStatus
+{
+    Ok,
+    Closed,  //!< orderly EOF at a frame boundary
+    Timeout, //!< SO_RCVTIMEO expired (peer stalled)
+    Corrupt, //!< bad magic/length/checksum or EOF mid-frame
+};
+
+const char *recvStatusName(RecvStatus s);
+
+/** Loop send() over the whole buffer (MSG_NOSIGNAL). */
+bool sendAll(int fd, const void *data, size_t n);
+
+/** Encode and send one frame. False when the peer went away. */
+bool sendFrame(int fd, Msg type, const std::string &payload);
+
+/** Receive and verify one frame (blocking, honors SO_RCVTIMEO). */
+RecvStatus recvFrame(int fd, Frame &out);
+
+} // namespace dist
+} // namespace psca
+
+#endif // PSCA_DIST_PROTOCOL_HH

@@ -1,0 +1,466 @@
+#include "dist/worker.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/journal.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/serialize.hh"
+#include "obs/snapshot.hh"
+#include "obs/stats.hh"
+
+namespace psca {
+namespace dist {
+
+namespace {
+
+obs::Counter &
+counter(const char *name)
+{
+    return obs::StatRegistry::instance().counter(name);
+}
+
+void
+setRecvTimeout(int fd, double seconds)
+{
+    timeval tv = {};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/** One connect() attempt to "host:port"; -1 on failure. */
+int
+tryConnect(const std::string &spec)
+{
+    const size_t colon = spec.rfind(':');
+    if (colon == std::string::npos)
+        return -1;
+    const std::string host = spec.substr(0, colon);
+    long long port = 0;
+    if (!env::tryParseLong(spec.c_str() + colon + 1, port) ||
+        port <= 0 || port > 65535)
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+    {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Read the coordinator's published "host:port" line, if any. */
+std::string
+readAddrFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (!in || !std::getline(in, line))
+        return "";
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r' ||
+            line.back() == ' '))
+        line.pop_back();
+    return line;
+}
+
+} // namespace
+
+Worker::Worker(const std::string &addr_spec,
+               const std::string &addr_file,
+               double connect_timeout_s, double io_timeout_s)
+    : ioTimeoutS_(io_timeout_s)
+{
+    // Bounded reconnect with the journal's deterministic backoff:
+    // the coordinator may still be binding (or, under "auto", not
+    // have published its address yet).
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(connect_timeout_s));
+    const uint64_t backoff_key = Journal::scopeHash("dist.connect");
+    int fd = -1;
+    for (int attempt = 0;; ++attempt) {
+        std::string spec = addr_spec;
+        if (spec == "auto")
+            spec = readAddrFile(addr_file);
+        if (!spec.empty())
+            fd = tryConnect(spec);
+        if (fd >= 0)
+            break;
+        if (std::chrono::steady_clock::now() >= deadline) {
+            warn("dist: cannot reach coordinator (",
+                 addr_spec == "auto" ? addr_file : addr_spec,
+                 ") within ", connect_timeout_s,
+                 "s; running locally");
+            return;
+        }
+        retryBackoffSleep(backoff_key, std::min(attempt, 8));
+    }
+
+    // Welcome may take a while: the coordinator only accepts inside
+    // its first distributed scope.
+    setRecvTimeout(fd, std::max(connect_timeout_s, ioTimeoutS_));
+    BinaryWriter hello;
+    hello.put<uint32_t>(kProtocolVersion);
+    hello.put<uint32_t>(static_cast<uint32_t>(
+        ThreadPool::instance().numThreads()));
+    Frame reply;
+    if (!sendFrame(fd, Msg::Hello, hello.takeBuffer()) ||
+        recvFrame(fd, reply) != RecvStatus::Ok ||
+        reply.type != Msg::Welcome)
+    {
+        warn("dist: coordinator handshake failed; running locally");
+        ::close(fd);
+        return;
+    }
+    BinaryReader in(reply.payload.data(), reply.payload.size());
+    id_ = in.get<uint32_t>();
+    if (!in.good()) {
+        ::close(fd);
+        return;
+    }
+    setRecvTimeout(fd, ioTimeoutS_);
+    fd_ = fd;
+    obs::StatRegistry::instance()
+        .gauge("dist.worker_id")
+        .set(static_cast<double>(id_));
+    inform("dist: joined fleet as worker ", id_);
+    emitEvent("dist", LogLevel::Info,
+              "joined fleet as worker " + std::to_string(id_));
+}
+
+Worker::~Worker()
+{
+    shutdown();
+}
+
+void
+Worker::shutdown()
+{
+    if (fd_ < 0)
+        return;
+    (void)sendFrame(fd_, Msg::Bye, "");
+    ::close(fd_);
+    fd_ = -1;
+}
+
+void
+Worker::disconnect(const char *why)
+{
+    if (fd_ < 0)
+        return;
+    warn("dist: connection to coordinator lost (", why,
+         "); degrading to local execution");
+    emitEvent("dist", LogLevel::Warn,
+              std::string("coordinator connection lost (") + why +
+                  "); degrading to local execution");
+    ::close(fd_);
+    fd_ = -1;
+}
+
+bool
+Worker::transact(const char *what, Msg type,
+                 const std::string &payload, Frame &out)
+{
+    counter("dist.bytes_sent").add(payload.size() + 17);
+    if (!sendFrame(fd_, type, payload)) {
+        disconnect(what);
+        return false;
+    }
+    const RecvStatus st = recvFrame(fd_, out);
+    if (st != RecvStatus::Ok) {
+        disconnect(recvStatusName(st));
+        return false;
+    }
+    counter("dist.bytes_received").add(out.payload.size() + 17);
+    if (out.type == Msg::Shutdown) {
+        // The coordinator is done (or going down). Distribution is
+        // an accelerator, never a correctness dependency: finish the
+        // rest of the campaign locally.
+        disconnect("coordinator shut down");
+        return false;
+    }
+    return true;
+}
+
+bool
+Worker::runScope(
+    const std::string &scope, uint64_t config_h, size_t n,
+    const std::function<bool(size_t, BinaryReader &)> &load_unit,
+    const std::function<void(size_t)> &exec_unit,
+    const std::function<void(size_t, BinaryWriter &)> &save_unit)
+{
+    if (fd_ < 0)
+        return false;
+    const uint64_t scope_h = Journal::scopeHash(scope);
+    counter("dist.scopes_joined").add();
+
+    auto ident = [&](BinaryWriter &w) {
+        w.put<uint64_t>(scope_h);
+        w.put<uint64_t>(config_h);
+    };
+
+    std::set<uint64_t> have; // slots this worker has filled
+
+    /**
+     * Execute one assigned batch on the thread pool, streaming each
+     * serialized result back in completion order while the batch
+     * runs (the protocol thread is this one; pool threads only
+     * compute and enqueue). Heartbeats cover gaps longer than 500 ms
+     * so a slow unit cannot look like a dead worker.
+     */
+    auto run_batch = [&](const std::vector<uint64_t> &units) {
+        struct Ready
+        {
+            uint64_t unit;
+            std::string bytes;
+        };
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<Ready> ready;
+        size_t remaining = units.size();
+        std::atomic<bool> interrupted{false};
+        std::exception_ptr compute_err;
+
+        std::thread compute([&] {
+            try {
+                ThreadPool::instance().parallelFor(
+                    units.size(), [&](size_t k) {
+                        const size_t i =
+                            static_cast<size_t>(units[k]);
+                        if (stopRequested()) {
+                            interrupted.store(
+                                true, std::memory_order_relaxed);
+                            std::lock_guard<std::mutex> lock(mu);
+                            --remaining;
+                            cv.notify_one();
+                            return;
+                        }
+                        // Same bounded retry semantics as the local
+                        // checkpointed path.
+                        const uint64_t retry_key = mixSeeds(
+                            mixSeeds(scope_h, config_h),
+                            static_cast<uint64_t>(i));
+                        const uint64_t span_start =
+                            traceHooksEnabled() ? steadyNowNs() : 0;
+                        for (int attempt = 0;; ++attempt) {
+                            try {
+                                exec_unit(i);
+                                break;
+                            } catch (const RunInterrupted &) {
+                                throw;
+                            } catch (const std::exception &e) {
+                                if (attempt + 1 >= 3)
+                                    throw;
+                                warn("dist: unit ", i, " of '",
+                                     scope, "' failed (", e.what(),
+                                     "); retrying");
+                                retryBackoffSleep(retry_key,
+                                                  attempt);
+                            }
+                        }
+                        if (span_start)
+                            traceSpanHook(
+                                "dist.unit", span_start,
+                                steadyNowNs(), "unit",
+                                static_cast<long long>(i));
+                        BinaryWriter w;
+                        save_unit(i, w);
+                        std::lock_guard<std::mutex> lock(mu);
+                        ready.push_back(
+                            Ready{units[k], w.takeBuffer()});
+                        --remaining;
+                        cv.notify_one();
+                    });
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                compute_err = std::current_exception();
+                remaining = 0;
+                cv.notify_one();
+            }
+        });
+
+        bool ok = true;
+        std::exception_ptr send_err;
+        for (;;) {
+            Ready r;
+            bool drained = false;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                if (ready.empty() && remaining != 0)
+                    cv.wait_for(lock,
+                                std::chrono::milliseconds(500));
+                if (!ready.empty()) {
+                    r = std::move(ready.front());
+                    ready.pop_front();
+                } else if (remaining == 0) {
+                    drained = true;
+                } else {
+                    // Batch still computing; prove liveness.
+                    lock.unlock();
+                    counter("dist.bytes_sent").add(17);
+                    if (fd_ >= 0)
+                        (void)sendFrame(fd_, Msg::Heartbeat, "");
+                    continue;
+                }
+            }
+            if (drained)
+                break;
+            if (fd_ < 0 || !ok)
+                continue; // keep draining so compute can finish
+            try {
+                BinaryWriter w;
+                ident(w);
+                w.put<uint64_t>(r.unit);
+                w.put<uint64_t>(fnv1aUpdate(kFnv1aBasis,
+                                            r.bytes.data(),
+                                            r.bytes.size()));
+                w.putString(r.bytes);
+                Frame reply;
+                if (!transact("result", Msg::Result, w.takeBuffer(),
+                              reply) ||
+                    reply.type != Msg::Ack)
+                {
+                    ok = false;
+                    continue;
+                }
+                have.insert(r.unit);
+                counter("dist.units_executed").add();
+            } catch (...) {
+                // Shutdown mid-batch: keep draining so the compute
+                // thread can finish, then propagate.
+                send_err = std::current_exception();
+                ok = false;
+            }
+        }
+        compute.join();
+        if (compute_err)
+            std::rethrow_exception(compute_err);
+        if (send_err)
+            std::rethrow_exception(send_err);
+        if (interrupted.load(std::memory_order_relaxed))
+            throw RunInterrupted("worker interrupted mid-batch");
+        return ok && fd_ >= 0;
+    };
+
+    // The assign loop. ScopeEnter doubles as the poll message: it is
+    // idempotent on the coordinator, and — unlike a bare Poll — a
+    // coordinator that has not reached this scope yet can park us
+    // with Wait until its own pipeline arrives here, keeping a fleet
+    // whose members drift a scope apart in lockstep instead of
+    // diverging.
+    for (;;) {
+        BinaryWriter w;
+        ident(w);
+        w.put<uint64_t>(n);
+        w.putString(scope);
+        w.put<uint32_t>(static_cast<uint32_t>(
+            ThreadPool::instance().numThreads()));
+        Frame reply;
+        if (!transact("enter", Msg::ScopeEnter, w.takeBuffer(),
+                      reply))
+            return false;
+        if (reply.type == Msg::Assign) {
+            BinaryReader in(reply.payload.data(),
+                            reply.payload.size());
+            const std::vector<uint64_t> units =
+                in.getVector<uint64_t>();
+            if (!in.good() || !run_batch(units))
+                return false;
+        } else if (reply.type == Msg::Wait) {
+            BinaryReader in(reply.payload.data(),
+                            reply.payload.size());
+            const auto ms = in.get<uint32_t>();
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min<uint32_t>(ms, 1000)));
+        } else if (reply.type == Msg::ScopeDone) {
+            break;
+        } else if (reply.type == Msg::Error) {
+            BinaryReader in(reply.payload.data(),
+                            reply.payload.size());
+            warn("dist: coordinator declined scope '", scope, "' (",
+                 in.getString(), "); running it locally");
+            return false;
+        } else {
+            disconnect("unexpected reply");
+            return false;
+        }
+    }
+
+    // Fetch every unit a peer computed (or the journal already
+    // held), in index order, so this process's in-memory state is
+    // identical to the coordinator's.
+    for (uint64_t i = 0; i < n; ++i) {
+        if (have.count(i) != 0)
+            continue;
+        BinaryWriter w;
+        ident(w);
+        w.put<uint64_t>(i);
+        Frame reply;
+        if (!transact("fetch", Msg::Fetch, w.takeBuffer(), reply))
+            return false;
+        if (reply.type != Msg::Data) {
+            warn("dist: unit ", i, " of scope '", scope,
+                 "' not fetchable; recomputing scope locally");
+            return false;
+        }
+        BinaryReader in(reply.payload.data(), reply.payload.size());
+        const auto unit = in.get<uint64_t>();
+        const auto sum = in.get<uint64_t>();
+        const std::string bytes = in.getString();
+        if (!in.good() || unit != i ||
+            fnv1aUpdate(kFnv1aBasis, bytes.data(), bytes.size()) !=
+                sum)
+        {
+            disconnect("corrupt fetched unit");
+            return false;
+        }
+        BinaryReader payload(bytes.data(), bytes.size());
+        if (!load_unit(static_cast<size_t>(i), payload)) {
+            disconnect("fetched unit failed to deserialize");
+            return false;
+        }
+        counter("dist.units_fetched").add();
+    }
+
+    // Leave the scope, shipping a cumulative registry snapshot for
+    // the coordinator's /stats.json aggregation.
+    obs::StatSnapshot snap;
+    snap.capture(obs::StatRegistry::instance());
+    BinaryWriter sw;
+    snap.serialize(sw);
+    BinaryWriter w;
+    ident(w);
+    w.putString(sw.takeBuffer());
+    Frame reply;
+    if (!transact("leave", Msg::ScopeLeave, w.takeBuffer(), reply))
+        return true; // slots are all filled; loss only affects stats
+    return true;
+}
+
+} // namespace dist
+} // namespace psca

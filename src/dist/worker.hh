@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fleet worker: connects to the coordinator, and for each
+ * Distributed checkpoint scope executes the batches it is assigned
+ * (the unchanged task bodies, with their original indices and
+ * therefore unchanged taskSeed substreams), streams each result back
+ * as soon as it completes, then fetches every unit a peer computed
+ * so the worker leaves the scope with the same in-memory state as
+ * every other process in the fleet.
+ *
+ * Liveness: while a batch computes on the thread pool, the worker's
+ * protocol thread sends one-way Heartbeat frames, so a coordinator
+ * never mistakes a long unit for a dead worker. If the coordinator
+ * goes away (or replies Error), the worker degrades to computing the
+ * scope locally — distribution is an accelerator, not a correctness
+ * dependency.
+ */
+
+#ifndef PSCA_DIST_WORKER_HH
+#define PSCA_DIST_WORKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dist/protocol.hh"
+
+namespace psca {
+
+class BinaryReader;
+class BinaryWriter;
+class Journal;
+
+namespace dist {
+
+class Worker
+{
+  public:
+    /**
+     * Resolve the coordinator address (@p addr_spec, or "auto" to
+     * poll @p addr_file) and connect with bounded deterministic
+     * backoff; then Hello/Welcome. connected() is false when the
+     * budget ran out — the campaign then runs locally.
+     */
+    Worker(const std::string &addr_spec, const std::string &addr_file,
+           double connect_timeout_s, double io_timeout_s);
+    ~Worker();
+
+    Worker(const Worker &) = delete;
+    Worker &operator=(const Worker &) = delete;
+
+    bool connected() const { return fd_ >= 0; }
+    uint32_t id() const { return id_; }
+
+    /**
+     * Participate in one Distributed scope (the Journal hook body).
+     * True when every slot 0..n-1 was filled (executed or fetched);
+     * false to degrade to the local execution path.
+     */
+    bool runScope(
+        const std::string &scope, uint64_t config_h, size_t n,
+        const std::function<bool(size_t, BinaryReader &)> &load_unit,
+        const std::function<void(size_t)> &exec_unit,
+        const std::function<void(size_t, BinaryWriter &)> &save_unit);
+
+    /** Send Bye and close. */
+    void shutdown();
+
+  private:
+    /** One request-reply exchange; false closes the connection. */
+    bool transact(const char *what, Msg type,
+                  const std::string &payload, Frame &out);
+    void disconnect(const char *why);
+
+    int fd_ = -1;
+    uint32_t id_ = 0;
+    double ioTimeoutS_ = 600.0;
+};
+
+} // namespace dist
+} // namespace psca
+
+#endif // PSCA_DIST_WORKER_HH

@@ -1,5 +1,6 @@
 #include "obs/snapshot.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <ostream>
 
@@ -204,6 +205,22 @@ StatSnapshot::writeJson(std::ostream &os,
     os << "  \"schema\": 1,\n";
     writeSections(os, /*trailing_comma=*/false);
     os << "}\n";
+}
+
+namespace {
+std::atomic<LiveSnapshotAugmenter> g_augmenter{nullptr};
+} // namespace
+
+void
+setLiveSnapshotAugmenter(LiveSnapshotAugmenter fn)
+{
+    g_augmenter.store(fn, std::memory_order_release);
+}
+
+LiveSnapshotAugmenter
+liveSnapshotAugmenter()
+{
+    return g_augmenter.load(std::memory_order_acquire);
 }
 
 } // namespace obs

@@ -78,6 +78,22 @@ struct StatSnapshot
                    const std::string &report_name) const;
 };
 
+/**
+ * Hook applied to the snapshot served by /stats.json, letting a
+ * subsystem that holds remote shards (the fleet coordinator merges
+ * every worker's latest ScopeLeave snapshot) fold them into the live
+ * view. Deliberately NOT applied to end-of-run report files — those
+ * must stay byte-identical across fleet shapes. Function pointer, not
+ * std::function: obs/ cannot link dist/.
+ */
+using LiveSnapshotAugmenter = void (*)(StatSnapshot &snap);
+
+/** Install (or clear, with nullptr) the /stats.json augmenter. */
+void setLiveSnapshotAugmenter(LiveSnapshotAugmenter fn);
+
+/** The installed augmenter, or nullptr. */
+LiveSnapshotAugmenter liveSnapshotAugmenter();
+
 } // namespace obs
 } // namespace psca
 

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Distribution-layer tests (DESIGN.md §13): protocol frame
+ * round-trip and corruption rejection over a socketpair, fleet
+ * byte-identity (a coordinator + 4 workers produce the same corpus
+ * cache and result artifact as a single process), and worker-loss
+ * recovery (SIGKILL one worker mid-campaign; the campaign completes
+ * with units reassigned and artifacts still byte-identical).
+ *
+ * Same fork discipline as test_runner.cc: the parent process never
+ * touches the ThreadPool, SimMemo, or Journal singletons — every
+ * pipeline runs in a forked child that _exit()s. Fleet children set
+ * their PSCA_DIST_* role env vars after the fork, so the parent's
+ * environment never arms the distribution layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/journal.hh"
+#include "core/pipeline.hh"
+#include "core/runner.hh"
+#include "dist/protocol.hh"
+#include "obs/report.hh"
+#include "telemetry/counters.hh"
+#include "trace/genome.hh"
+
+using namespace psca;
+using namespace psca::dist;
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---- Protocol frames ----------------------------------------------
+
+TEST(DistProtocol, FrameRoundTrip)
+{
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    // A payload with embedded NULs and every byte value.
+    std::string payload;
+    for (int i = 0; i < 1024; ++i)
+        payload.push_back(static_cast<char>(i & 0xff));
+    ASSERT_TRUE(sendFrame(fds[0], Msg::Result, payload));
+    ASSERT_TRUE(sendFrame(fds[0], Msg::Heartbeat, ""));
+
+    Frame f;
+    ASSERT_EQ(recvFrame(fds[1], f), RecvStatus::Ok);
+    EXPECT_EQ(f.type, Msg::Result);
+    EXPECT_EQ(f.payload, payload);
+    ASSERT_EQ(recvFrame(fds[1], f), RecvStatus::Ok);
+    EXPECT_EQ(f.type, Msg::Heartbeat);
+    EXPECT_TRUE(f.payload.empty());
+
+    // Orderly close is a clean frame boundary.
+    close(fds[0]);
+    EXPECT_EQ(recvFrame(fds[1], f), RecvStatus::Closed);
+    close(fds[1]);
+}
+
+/** Raw wire image of one frame, for byte-level tampering. */
+std::vector<uint8_t>
+rawFrame(Msg type, const std::string &payload)
+{
+    const uint8_t t = static_cast<uint8_t>(type);
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    std::vector<uint8_t> frame(4 + 1 + 4 + payload.size() + 8);
+    size_t off = 0;
+    std::memcpy(frame.data() + off, &kFrameMagic, 4);
+    off += 4;
+    frame[off++] = t;
+    std::memcpy(frame.data() + off, &len, 4);
+    off += 4;
+    std::memcpy(frame.data() + off, payload.data(), payload.size());
+    off += payload.size();
+    uint64_t sum = fnv1aUpdate(kFnv1aBasis, &t, sizeof(t));
+    sum = fnv1aUpdate(sum, &len, sizeof(len));
+    sum = fnv1aUpdate(sum, payload.data(), payload.size());
+    std::memcpy(frame.data() + off, &sum, 8);
+    return frame;
+}
+
+TEST(DistProtocol, CorruptionRejected)
+{
+    // Flipping any single byte of (magic, type, len, payload,
+    // checksum) must yield Corrupt, never a quietly wrong frame.
+    const std::vector<uint8_t> good = rawFrame(Msg::Assign, "units");
+    for (size_t flip = 0; flip < good.size(); ++flip) {
+        int fds[2] = {-1, -1};
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        std::vector<uint8_t> bad = good;
+        bad[flip] ^= 0x01;
+        ASSERT_TRUE(sendAll(fds[0], bad.data(), bad.size()));
+        close(fds[0]);
+        Frame f;
+        EXPECT_EQ(recvFrame(fds[1], f), RecvStatus::Corrupt)
+            << "flipped byte " << flip;
+        close(fds[1]);
+    }
+}
+
+TEST(DistProtocol, TruncationRejected)
+{
+    // EOF mid-frame (a worker died mid-send) is Corrupt, not Closed.
+    const std::vector<uint8_t> good = rawFrame(Msg::Data, "payload");
+    for (size_t keep : {size_t{3}, size_t{9}, good.size() - 1}) {
+        int fds[2] = {-1, -1};
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        ASSERT_TRUE(sendAll(fds[0], good.data(), keep));
+        close(fds[0]);
+        Frame f;
+        EXPECT_EQ(recvFrame(fds[1], f), RecvStatus::Corrupt)
+            << "kept " << keep << " bytes";
+        close(fds[1]);
+    }
+}
+
+// ---- Fleet byte-identity ------------------------------------------
+
+// 12 units so a 3-worker fleet at PSCA_THREADS=4 assigns a full
+// batch to EVERY worker — the kill test then always finds assigned
+// units on the victim.
+constexpr size_t kCorpusSize = 12;
+
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = "/tmp/psca_dist_test/" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+/**
+ * The campaign body every fleet process runs (lockstep-redundant):
+ * corpus record -> dataset -> forest fit -> scored result artifact.
+ * Same shape as test_runner.cc's pipeline; the corpus and forest
+ * scopes are the Distributed ones.
+ */
+int
+childPipeline()
+{
+    obs::RunReportGuard report("dist_test_report");
+
+    BuildConfig build;
+    build.intervalInstr = 5000;
+    build.warmupInstr = 10000;
+    build.counterIds = {
+        CounterRegistry::index(Ctr::InstRetired),
+        CounterRegistry::index(Ctr::StallCount),
+        CounterRegistry::index(Ctr::L1dMiss),
+        CounterRegistry::index(Ctr::UopsStalledOnDep),
+    };
+
+    std::vector<Workload> fleet;
+    std::vector<uint32_t> ids;
+    for (uint64_t i = 0; i < kCorpusSize; ++i) {
+        Workload w;
+        w.genome =
+            sampleGenome(static_cast<AppCategory>(i % 6), 700 + i);
+        w.inputSeed = 1;
+        w.lengthInstr = 300000;
+        w.name = w.genome.name;
+        fleet.push_back(std::move(w));
+        ids.push_back(static_cast<uint32_t>(i));
+    }
+    const std::vector<TraceRecord> records =
+        recordCorpus(fleet, ids, build, "dtest");
+
+    AssemblyOptions ao;
+    ao.granularityInstr = 5000;
+    ao.pSla = 0.90;
+    const Dataset ds =
+        assembleDataset(records, ao, build.intervalInstr);
+
+    ForestConfig fc;
+    fc.numTrees = 8;
+    fc.maxDepth = 6;
+    fc.seed = 5;
+    const RandomForest rf(ds, fc);
+
+    uint64_t h = ds.contentHash();
+    std::vector<double> scores(ds.numSamples());
+    for (size_t i = 0; i < ds.numSamples(); ++i)
+        scores[i] = rf.score(ds.row(i));
+    h = fnv1aUpdate(h, scores.data(), scores.size() * sizeof(double));
+    const bool ok = writeArtifactFile(
+        cacheDirectory() + "/result.bin", [&](BinaryWriter &out) {
+            out.put(h);
+            out.put<uint64_t>(ds.numSamples());
+        });
+    return ok ? 0 : 1;
+}
+
+/**
+ * Fork one fleet process. Roles are set AFTER the fork so the test
+ * parent never arms the distribution layer. Workers journal nothing
+ * (the coordinator owns the journal) and report into their own
+ * subdirectory so they cannot clobber the coordinator's report.
+ */
+pid_t
+forkFleetChild(const char *role, const std::string &dir, int workers,
+               int worker_index)
+{
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    setenv("PSCA_DIST_ROLE", role, 1);
+    if (std::strcmp(role, "coordinator") == 0) {
+        const std::string n = std::to_string(workers);
+        setenv("PSCA_DIST_WORKERS", n.c_str(), 1);
+    } else {
+        setenv("PSCA_JOURNAL", "0", 1);
+        const std::string rdir =
+            dir + "/w" + std::to_string(worker_index);
+        fs::create_directories(rdir);
+        setenv("PSCA_REPORT_DIR", rdir.c_str(), 1);
+    }
+    _exit(runner::guardedMain([] { return childPipeline(); }));
+}
+
+/** Single-process reference run (no distribution). */
+int
+runLocalToCompletion()
+{
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0)
+        _exit(runner::guardedMain([] { return childPipeline(); }));
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/** Pull one "name": value number out of a run-report JSON file. */
+double
+reportValue(const std::string &path, const std::string &name)
+{
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::string key = "\"" + name + "\":";
+    const size_t at = text.find(key);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+/** All files in @p dir whose names contain @p needle, sorted. */
+std::vector<std::string>
+filesContaining(const std::string &dir, const std::string &needle)
+{
+    std::vector<std::string> names;
+    for (const auto &e : fs::directory_iterator(dir))
+        if (e.path().filename().string().find(needle) !=
+            std::string::npos)
+            names.push_back(e.path().filename().string());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void
+expectArtifactsIdentical(const std::string &dir,
+                         const std::string &ref_dir)
+{
+    EXPECT_EQ(slurp(dir + "/result.bin"),
+              slurp(ref_dir + "/result.bin"));
+    const std::vector<std::string> caches =
+        filesContaining(ref_dir, "dtest_");
+    ASSERT_FALSE(caches.empty());
+    EXPECT_EQ(filesContaining(dir, "dtest_"), caches);
+    for (const std::string &name : caches)
+        EXPECT_EQ(slurp(dir + "/" + name),
+                  slurp(ref_dir + "/" + name))
+            << name;
+}
+
+TEST(DistFleet, FourWorkersByteIdenticalToSingleProcess)
+{
+    setenv("PSCA_THREADS", "2", 1);
+
+    const std::string ref_dir = scratchDir("fleet4_ref");
+    setenv("PSCA_CACHE_DIR", ref_dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", ref_dir.c_str(), 1);
+    ASSERT_EQ(runLocalToCompletion(), 0);
+
+    const std::string dir = scratchDir("fleet4");
+    setenv("PSCA_CACHE_DIR", dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", dir.c_str(), 1);
+    constexpr int kWorkers = 4;
+    const pid_t coord = forkFleetChild("coordinator", dir, kWorkers, 0);
+    std::vector<pid_t> workers;
+    for (int i = 1; i <= kWorkers; ++i)
+        workers.push_back(forkFleetChild("worker", dir, kWorkers, i));
+
+    int status = 0;
+    ASSERT_EQ(waitpid(coord, &status, 0), coord);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    for (pid_t w : workers) {
+        ASSERT_EQ(waitpid(w, &status, 0), w);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0) << "worker " << w;
+    }
+
+    expectArtifactsIdentical(dir, ref_dir);
+
+    // The fleet actually distributed: the coordinator journaled
+    // worker results, and its report says so.
+    const std::string report = dir + "/dist_test_report.json";
+    EXPECT_GE(reportValue(report, "dist.units_completed"),
+              static_cast<double>(kCorpusSize)) << report;
+    EXPECT_GE(reportValue(report, "dist.scopes_served"), 2.0);
+}
+
+TEST(DistFleet, WorkerKilledMidCampaignIsReassigned)
+{
+    setenv("PSCA_THREADS", "4", 1);
+
+    const std::string ref_dir = scratchDir("kill_ref");
+    setenv("PSCA_CACHE_DIR", ref_dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", ref_dir.c_str(), 1);
+    ASSERT_EQ(runLocalToCompletion(), 0);
+
+    const std::string dir = scratchDir("kill");
+    setenv("PSCA_CACHE_DIR", dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", dir.c_str(), 1);
+    constexpr int kWorkers = 3;
+    const pid_t coord = forkFleetChild("coordinator", dir, kWorkers, 0);
+    std::vector<pid_t> workers;
+    for (int i = 1; i <= kWorkers; ++i)
+        workers.push_back(forkFleetChild("worker", dir, kWorkers, i));
+
+    // SIGKILL the first worker as soon as the first result lands in
+    // the coordinator's journal: with batch assignment (up to
+    // PSCA_THREADS units per worker) it still holds assigned units,
+    // which the coordinator must hand to the survivors.
+    const std::string journal_path = dir + "/journal.psj";
+    bool killed = false;
+    for (int spins = 0; spins < 120000; ++spins) {
+        if (Journal::countEntries(journal_path) >= 1) {
+            kill(workers[0], SIGKILL);
+            killed = true;
+            break;
+        }
+        int status = 0;
+        if (waitpid(coord, &status, WNOHANG) == coord) {
+            ADD_FAILURE() << "coordinator exited before first result";
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(killed);
+
+    int status = 0;
+    ASSERT_EQ(waitpid(coord, &status, 0), coord);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    for (pid_t w : workers)
+        waitpid(w, &status, 0); // killed one included; others exit 0
+
+    expectArtifactsIdentical(dir, ref_dir);
+
+    const std::string report = dir + "/dist_test_report.json";
+    EXPECT_GE(reportValue(report, "dist.workers_lost"), 1.0);
+    EXPECT_GE(reportValue(report, "dist.units_reassigned"), 1.0);
+}
+
+} // namespace

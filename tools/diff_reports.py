@@ -35,6 +35,7 @@ DEFAULT_IGNORE = [
     "trace.",    # span-trace event/drop accounting (telemetry plane)
     "events.",   # structured event-log accounting
     "http.",     # live-endpoint request counts
+    "dist.",     # fleet wire/assignment accounting (varies with -N)
 ]
 
 

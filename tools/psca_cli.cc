@@ -12,19 +12,36 @@
  *   flash FW <app>            load a firmware image and run the
  *                             closed adaptation loop through the VM
  *
+ *   fleet [--workers N]       run the campaign pipeline as a local
+ *                             coordinator/worker fleet (DESIGN.md
+ *                             §13, OPERATIONS.md); N=0 runs the same
+ *                             campaign single-process
+ *
  * <app> is either `spec:<name-substring>` (a SPEC2017 stand-in) or
  * `<category>:<seed>` with category in {hpc, cloud, ai, web, media,
  * games}.
  */
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "core/crossval.hh"
 #include "core/firmware_image.hh"
 #include "core/pipeline.hh"
+#include "dist/dist.hh"
+#include "obs/report.hh"
+#include "obs/stats.hh"
 #include "sim/core.hh"
 #include "core/runner.hh"
+
+extern char **environ;
 
 using namespace psca;
 
@@ -52,12 +69,14 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: psca <counters|kernels|run|train|flash> ...\n"
+                 "usage: psca <counters|kernels|run|train|flash|"
+                 "fleet> ...\n"
                  "  psca counters [--all]\n"
                  "  psca kernels\n"
                  "  psca run <app> [--len N] [--mode high|low]\n"
                  "  psca train <app> [<app> ...] --out FW.bin\n"
                  "  psca flash FW.bin <app> [--len N]\n"
+                 "  psca fleet [--workers N] [--out FW.bin]\n"
                  "  <app> = spec:<name> | "
                  "{hpc,cloud,ai,web,media,games}:<seed>\n");
     return 2;
@@ -304,6 +323,189 @@ cmdFlash(int argc, char **argv)
     return 0;
 }
 
+/**
+ * The campaign every fleet process runs, coordinator and workers
+ * alike (the lockstep-redundant model of DESIGN.md §13): experiment
+ * setup (PF screen + HDTR corpus — two Distributed scopes), a
+ * checkpoint-tagged RF cross-validation (third), and a Best-RF dual
+ * train whose forest fits are the fourth. Only which process
+ * *executes* each unit differs; every process ends with the same
+ * bytes in memory and on disk.
+ */
+int
+fleetCampaign(const std::string &out_path)
+{
+    obs::RunReportGuard report("fleet");
+    const ScaleConfig scale = ScaleConfig::fromEnv();
+    ExperimentContext ctx =
+        setupExperiment(scale, /*need_spec=*/false);
+
+    auto rf_factory = [](const Dataset &tune,
+                         uint64_t s) -> std::unique_ptr<Model> {
+        ForestConfig fc;
+        fc.numTrees = 8;
+        fc.maxDepth = 8;
+        fc.seed = s;
+        return std::make_unique<RandomForest>(tune, fc);
+    };
+
+    DualTrainOptions opts;
+    opts.granularityInstr = 40000;
+    opts.pSla = 0.90;
+    opts.columns = ctx.plan.pfColumns(12);
+    opts.rsvWindow = 400;
+    opts.seed = 11;
+
+    AssemblyOptions ao;
+    ao.granularityInstr = opts.granularityInstr;
+    ao.pSla = opts.pSla;
+    ao.columns = opts.columns;
+    const Dataset ds =
+        assembleDataset(ctx.hdtr, ao, ctx.build.intervalInstr);
+    CrossValOptions cv;
+    cv.rsvWindow = opts.rsvWindow;
+    cv.checkpointTag = "fleet.rf";
+    const CrossValSummary summary = crossValidate(ds, rf_factory, cv);
+    std::printf("fleet: crossval PGOS %.2f%% +/- %.2f, RSV %.2f%% "
+                "+/- %.2f\n",
+                summary.pgosMean * 100, summary.pgosStd * 100,
+                summary.rsvMean * 100, summary.rsvStd * 100);
+    // Result-bearing stats: these (unlike the dist.*/runner.*
+    // accounting) must match between a fleet run and a
+    // single-process run — the fleet-smoke CI job diffs them.
+    auto &reg = obs::StatRegistry::instance();
+    reg.gauge("fleet.crossval_pgos_pct").set(summary.pgosMean * 100);
+    reg.gauge("fleet.crossval_pgos_std").set(summary.pgosStd * 100);
+    reg.gauge("fleet.crossval_rsv_pct").set(summary.rsvMean * 100);
+    reg.gauge("fleet.crossval_rsv_std").set(summary.rsvStd * 100);
+
+    TrainedDual dual =
+        trainDual(ctx.hdtr, ctx.build, opts, rf_factory);
+    DualModelPredictor predictor(dual.high, dual.low, opts.columns,
+                                 opts.granularityInstr, "psca-fleet");
+    const FirmwarePackage pkg =
+        packageFromDual(predictor, opts.columns);
+    pkg.save(out_path);
+    reg.gauge("fleet.fw_code_bytes")
+        .set(static_cast<double>(pkg.high.program.code.size() +
+                                 pkg.low.program.code.size()));
+    std::printf("fleet: wrote %s\n", out_path.c_str());
+    return 0;
+}
+
+/**
+ * fork+exec one worker: same binary, `fleet --workers 0`, with the
+ * fleet role env spliced in. execve with an explicitly built
+ * environment — no setenv between fork and exec.
+ */
+pid_t
+spawnFleetWorker(int index, const std::string &addr,
+                 const std::string &out_path)
+{
+    std::vector<std::string> env;
+    for (char **e = environ; *e != nullptr; ++e) {
+        const std::string s(*e);
+        if (s.rfind("PSCA_DIST_", 0) == 0 ||
+            s.rfind("PSCA_JOURNAL=", 0) == 0 ||
+            s.rfind("PSCA_REPORT_DIR=", 0) == 0 ||
+            s.rfind("PSCA_HTTP_PORT=", 0) == 0)
+            continue;
+        env.push_back(s);
+    }
+    env.push_back("PSCA_DIST_ROLE=worker");
+    env.push_back("PSCA_DIST_ADDR=" + addr);
+    // The coordinator owns the journal; workers report to their own
+    // directory so they cannot clobber the coordinator's run report.
+    env.push_back("PSCA_JOURNAL=0");
+    const std::string rdir =
+        cacheDirectory() + "/workers/w" + std::to_string(index);
+    std::filesystem::create_directories(rdir);
+    env.push_back("PSCA_REPORT_DIR=" + rdir);
+
+    std::vector<std::string> args = {"psca",  "fleet", "--workers",
+                                     "0",     "--out", out_path};
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    std::vector<char *> envp;
+    for (auto &s : env)
+        envp.push_back(s.data());
+    envp.push_back(nullptr);
+
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        execve("/proc/self/exe", argv.data(), envp.data());
+        _exit(127);
+    }
+    return pid;
+}
+
+int
+cmdFleet(int argc, char **argv)
+{
+    int workers = 4;
+    std::string out_path = cacheDirectory() + "/fleet_fw.bin";
+    for (int i = 0; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--workers"))
+            workers = std::atoi(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--out"))
+            out_path = argv[i + 1];
+    }
+    if (workers < 0 || workers > 1024)
+        return usage();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<pid_t> kids;
+    if (workers > 0 && dist::role() == dist::Role::Off) {
+        setenv("PSCA_DIST_ROLE", "coordinator", 1);
+        setenv("PSCA_DIST_WORKERS",
+               std::to_string(workers).c_str(), 1);
+        dist::maybeInitFromEnv();
+        const std::string addr = dist::coordinatorAddress();
+        if (addr.empty()) {
+            std::fprintf(stderr,
+                         "fleet: coordinator failed to bind; "
+                         "running single-process\n");
+        } else {
+            std::printf("fleet: coordinating %d workers on %s\n",
+                        workers, addr.c_str());
+            for (int i = 1; i <= workers; ++i)
+                kids.push_back(
+                    spawnFleetWorker(i, addr, out_path));
+        }
+    }
+
+    const int rc = fleetCampaign(out_path);
+
+    // Release any worker still parked at a ScopeEnter before waiting
+    // on it: the Shutdown broadcast (and closed sockets) make
+    // lagging workers finish their remaining scopes locally.
+    if (!kids.empty())
+        dist::shutdown();
+
+    int bad = 0;
+    for (pid_t pid : kids) {
+        int status = 0;
+        waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            ++bad;
+    }
+    if (bad > 0)
+        std::fprintf(stderr, "fleet: %d worker(s) exited abnormally "
+                             "(campaign still completed)\n",
+                     bad);
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("fleet: campaign complete in %.1f s (%zu worker "
+                "processes)\n",
+                secs, kids.size());
+    return rc;
+}
+
 } // namespace
 
 static int
@@ -322,6 +524,8 @@ run(int argc, char **argv)
         return cmdTrain(argc - 2, argv + 2);
     if (cmd == "flash")
         return cmdFlash(argc - 2, argv + 2);
+    if (cmd == "fleet")
+        return cmdFleet(argc - 2, argv + 2);
     return usage();
 }
 
