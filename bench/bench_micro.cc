@@ -12,15 +12,18 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "core/crossval.hh"
 #include "ml/linear.hh"
 #include "ml/mlp.hh"
+#include "ml/quant.hh"
 #include "ml/tree.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
@@ -239,6 +242,102 @@ BM_DecodedReplay(benchmark::State &state)
 BENCHMARK(BM_DecodedReplay);
 
 void
+BM_BatchedReplay(benchmark::State &state)
+{
+    // Lockstep batched replay (DESIGN.md §14): `lanes` independent
+    // cores advance one uop per trip, overlapping their serial
+    // timestamp chains. Items processed counts all lanes.
+    const size_t lanes = static_cast<size_t>(state.range(0));
+    constexpr uint64_t kInterval = 10000;
+    constexpr size_t kUops = 1u << 21;
+    TraceGenerator gen(mixedWorkload());
+    const DecodedTrace trace = decodeTrace(gen, kUops);
+    std::vector<std::unique_ptr<ClusteredCore>> cores;
+    for (size_t i = 0; i < lanes; ++i) {
+        cores.push_back(std::make_unique<ClusteredCore>());
+        cores[i]->reset();
+        cores[i]->setMode(CoreMode::HighPerf);
+    }
+    std::vector<ReplayLane> ls(lanes);
+    size_t base = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < lanes; ++i) {
+            ls[i].core = cores[i].get();
+            ls[i].trace = &trace;
+            ls[i].begin = base;
+            ls[i].n = kInterval;
+        }
+        ClusteredCore::runBatch(ls.data(), lanes);
+        base += kInterval;
+        if (base + kInterval > trace.size())
+            base = 0;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(lanes * kInterval));
+    state.SetLabel("lanes=" + std::to_string(lanes));
+}
+BENCHMARK(BM_BatchedReplay)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_PredictBatch_forest(benchmark::State &state)
+{
+    const Dataset d = randomData(4096, 12, 9);
+    ForestConfig fc;
+    fc.numTrees = 8;
+    fc.maxDepth = 8;
+    RandomForest forest(d, fc);
+    std::vector<double> out(d.numSamples());
+    for (auto _ : state) {
+        forest.scoreBatch(d.x.data(),
+                          static_cast<int>(d.numSamples()),
+                          out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(d.numSamples()));
+}
+BENCHMARK(BM_PredictBatch_forest);
+
+void
+BM_PredictBatch_mlp(benchmark::State &state)
+{
+    const Dataset d = randomData(4096, 12, 10);
+    MlpConfig cfg;
+    cfg.hiddenLayers = {8, 8, 4};
+    cfg.epochs = 2;
+    auto model = trainMlp(d, cfg);
+    std::vector<double> out(d.numSamples());
+    for (auto _ : state) {
+        model->scoreBatch(d.x.data(),
+                          static_cast<int>(d.numSamples()),
+                          out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(d.numSamples()));
+    state.SetLabel(simd::levelName(simd::activeLevel()));
+}
+BENCHMARK(BM_PredictBatch_mlp);
+
+void
+BM_PredictQuant(benchmark::State &state)
+{
+    // Int8 fixed-point scoring (the PSCA_UC_FIXED firmware path).
+    const Dataset d = randomData(4096, 12, 11);
+    ForestConfig fc;
+    fc.numTrees = 8;
+    fc.maxDepth = 8;
+    RandomForest forest(d, fc);
+    const quant::QuantizedForest qf =
+        quant::QuantizedForest::fromForest(forest);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qf.score(d.row(i++ & 4095)));
+    }
+}
+BENCHMARK(BM_PredictQuant);
+
+void
 BM_CoreSimulationAosOracle(benchmark::State &state)
 {
     // The retired AoS path, kept as a correctness oracle; benched so
@@ -451,6 +550,131 @@ recordReplayThroughput()
 }
 
 /**
+ * Wall-clock the lockstep batched replay (best of three passes) and
+ * record aggregate Muops/s next to the serial SoA gauge, so the
+ * perf-smoke job ratchets the batching win. Lanes replay the same
+ * trace from the same offset — the throughput number counts uops
+ * retired across all lanes per wall-second, which is how the dataset
+ * builder consumes the kernel (many chips, one trace).
+ */
+void
+recordBatchedReplayThroughput()
+{
+    using clock = std::chrono::steady_clock;
+    constexpr uint64_t kInterval = 10000;
+    constexpr uint64_t kIntervals = (1u << 21) / kInterval;
+    constexpr uint64_t kUops = kIntervals * kInterval;
+    constexpr size_t kLanes = 8;
+    TraceGenerator gen(mixedWorkload());
+    const DecodedTrace trace = decodeTrace(gen, kUops);
+
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        std::vector<std::unique_ptr<ClusteredCore>> cores;
+        for (size_t i = 0; i < kLanes; ++i) {
+            cores.push_back(std::make_unique<ClusteredCore>());
+            cores[i]->reset();
+            cores[i]->setMode(CoreMode::HighPerf);
+        }
+        std::vector<ReplayLane> lanes(kLanes);
+        const auto start = clock::now();
+        for (uint64_t t = 0; t < kIntervals; ++t) {
+            for (size_t i = 0; i < kLanes; ++i) {
+                lanes[i].core = cores[i].get();
+                lanes[i].trace = &trace;
+                lanes[i].begin = t * kInterval;
+                lanes[i].n = kInterval;
+            }
+            ClusteredCore::runBatch(lanes.data(), kLanes);
+        }
+        const double s =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        const double muops =
+            s > 0.0 ? kUops * kLanes / s / 1e6 : 0.0;
+        if (muops > best)
+            best = muops;
+    }
+    obs::StatRegistry::instance()
+        .gauge("sim.replay_batched_muops_per_s")
+        .set(best);
+    std::printf("batched replay: %.1f Muops/s aggregate over %zu "
+                "lanes\n",
+                best, kLanes);
+}
+
+/**
+ * Wall-clock scoreBatch against the per-sample score loop for the
+ * forest and the MLP (best of three passes each) and record the
+ * throughputs plus speedup ratios as gauges. The forest ratio is the
+ * headline ≥4x batching target the perf-smoke job enforces.
+ */
+void
+recordPredictBatchSpeedup()
+{
+    using clock = std::chrono::steady_clock;
+    constexpr size_t kSamples = 4096;
+    constexpr int kPasses = 8;
+    const Dataset d = randomData(kSamples, 12, 12);
+
+    auto best_mpred = [&](auto &&pass) {
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto start = clock::now();
+            for (int p = 0; p < kPasses; ++p)
+                pass();
+            const double s =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+            const double mpred =
+                s > 0.0 ? kPasses * kSamples / s / 1e6 : 0.0;
+            if (mpred > best)
+                best = mpred;
+        }
+        return best;
+    };
+
+    auto record = [&](const char *key, const Model &model) {
+        std::vector<double> out(kSamples);
+        const double scalar = best_mpred([&] {
+            for (size_t i = 0; i < kSamples; ++i)
+                out[i] = model.score(d.row(i));
+            benchmark::DoNotOptimize(out.data());
+        });
+        const double batch = best_mpred([&] {
+            model.scoreBatch(d.x.data(), static_cast<int>(kSamples),
+                             out.data());
+            benchmark::DoNotOptimize(out.data());
+        });
+        const double speedup = scalar > 0.0 ? batch / scalar : 0.0;
+        auto &reg = obs::StatRegistry::instance();
+        reg.gauge(std::string("ml.predict_scalar_") + key +
+                  "_mpred_per_s")
+            .set(scalar);
+        reg.gauge(std::string("ml.predict_batch_") + key +
+                  "_mpred_per_s")
+            .set(batch);
+        reg.gauge(std::string("ml.predict_batch_") + key + "_speedup")
+            .set(speedup);
+        std::printf("%s inference: %.2f Mpred/s scalar, %.2f Mpred/s "
+                    "batched (%.2fx, simd=%s)\n",
+                    key, scalar, batch, speedup,
+                    simd::levelName(simd::activeLevel()));
+    };
+
+    ForestConfig fc;
+    fc.numTrees = 8;
+    fc.maxDepth = 8;
+    record("forest", RandomForest(d, fc));
+
+    MlpConfig mc;
+    mc.hiddenLayers = {8, 8, 4};
+    mc.epochs = 2;
+    const auto mlp = trainMlp(d, mc);
+    record("mlp", *mlp);
+}
+
+/**
  * Wall-clock the phase-scope push/pop at one and four threads and
  * record ns-per-scope gauges, so BENCH_micro.json tracks the cost of
  * the sharded tracer hot path (a contended-mutex regression shows up
@@ -504,6 +728,8 @@ run(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     recordReplayThroughput();
+    recordBatchedReplayThroughput();
+    recordPredictBatchSpeedup();
     recordCrossvalSpeedup();
     recordPhaseOverhead();
     return 0;

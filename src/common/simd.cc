@@ -1,0 +1,60 @@
+#include "common/simd.hh"
+
+#include "common/env.hh"
+
+namespace psca {
+namespace simd {
+
+namespace {
+
+Level
+resolveLevel()
+{
+#if defined(PSCA_HAVE_AVX2) && defined(__x86_64__)
+    const bool cpu_ok = __builtin_cpu_supports("avx2");
+#else
+    const bool cpu_ok = false;
+#endif
+    const std::string want =
+        env::enumOr("PSCA_SIMD", {"avx2", "scalar"},
+                    cpu_ok ? "avx2" : "scalar");
+    Level level = Level::Scalar;
+    if (want == "avx2") {
+        if (cpu_ok) {
+            level = Level::Avx2;
+        } else {
+            warn("PSCA_SIMD=avx2 requested but unavailable (",
+#if defined(PSCA_HAVE_AVX2)
+                 "host CPU lacks AVX2",
+#else
+                 "binary built without AVX2 support",
+#endif
+                 "); falling back to scalar kernels");
+        }
+    }
+    return level;
+}
+
+} // namespace
+
+Level
+activeLevel()
+{
+    static const Level level = resolveLevel();
+    return level;
+}
+
+bool
+useAvx2()
+{
+    return activeLevel() == Level::Avx2;
+}
+
+const char *
+levelName(Level level)
+{
+    return level == Level::Avx2 ? "avx2" : "scalar";
+}
+
+} // namespace simd
+} // namespace psca

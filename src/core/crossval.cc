@@ -104,15 +104,27 @@ evaluateModel(const Model &model, const Dataset &data,
               uint64_t rsv_window)
 {
     EvalResult result;
-    // Group prediction/label sequences per trace for RSV.
+    // Group prediction/label sequences per trace for RSV. Decisions
+    // come from the batched kernels in chunks (the dataset matrix is
+    // contiguous row-major); predictBatch() is bit-identical to the
+    // scalar predict() loop it replaced.
     std::map<uint32_t, std::pair<std::vector<uint8_t>,
                                  std::vector<uint8_t>>> traces;
-    for (size_t i = 0; i < data.numSamples(); ++i) {
-        const bool pred = model.predict(data.row(i));
-        result.confusion.add(pred, data.y[i] != 0);
-        auto &entry = traces[data.traceId[i]];
-        entry.first.push_back(pred ? 1 : 0);
-        entry.second.push_back(data.y[i]);
+    const size_t n = data.numSamples();
+    constexpr size_t kChunk = 1024;
+    std::vector<float> decisions(std::min(n, kChunk));
+    for (size_t begin = 0; begin < n; begin += kChunk) {
+        const size_t count = std::min(kChunk, n - begin);
+        model.predictBatch(data.row(begin), static_cast<int>(count),
+                           decisions.data());
+        for (size_t o = 0; o < count; ++o) {
+            const size_t i = begin + o;
+            const bool pred = decisions[o] != 0.0f;
+            result.confusion.add(pred, data.y[i] != 0);
+            auto &entry = traces[data.traceId[i]];
+            entry.first.push_back(pred ? 1 : 0);
+            entry.second.push_back(data.y[i]);
+        }
     }
     result.pgos = result.confusion.pgos();
 

@@ -8,6 +8,7 @@
 #include "common/serialize.hh"
 #include "ml/linear.hh"
 #include "ml/mlp.hh"
+#include "ml/quant.hh"
 #include "ml/tree.hh"
 #include "obs/stats.hh"
 #include "uc/compilers.hh"
@@ -17,9 +18,11 @@ namespace psca {
 namespace {
 
 constexpr uint64_t kMagic = 0x50534341465731ULL; // "PSCAFW1"
-constexpr uint32_t kFwVersion = 3; // 3: padding-free instruction
-                                   //    encoding (byte-reproducible
-                                   //    images); 2: checksum trailer
+constexpr uint32_t kFwVersion = 4; // 4: fixed-point slot payloads
+                                   //    (PSCA_UC_FIXED); 3: padding-
+                                   //    free instruction encoding
+                                   //    (byte-reproducible images);
+                                   //    2: checksum trailer
 
 // UcInst carries an alignment hole after its uint8_t opcode, so a
 // raw putVector would serialize uninitialized padding and two images
@@ -66,6 +69,8 @@ writeSlot(BinaryWriter &out, const FirmwareSlot &slot)
     out.putVector(slot.scaler.mean);
     out.putVector(slot.scaler.invStd);
     out.put(slot.threshold);
+    out.putString(slot.quantPayload);
+    out.put(slot.quantOps);
 }
 
 FirmwareSlot
@@ -78,6 +83,8 @@ readSlot(BinaryReader &in)
     slot.scaler.mean = in.getVector<float>();
     slot.scaler.invStd = in.getVector<float>();
     slot.threshold = in.get<float>();
+    slot.quantPayload = in.getString();
+    slot.quantOps = in.get<uint32_t>();
     return slot;
 }
 
@@ -105,6 +112,7 @@ FirmwarePackage::write(BinaryWriter &out) const
     out.putString(name);
     out.put(granularityInstr);
     out.putVector(columns);
+    out.put<uint8_t>(fixedPoint ? 1 : 0);
     writeSlot(out, high);
     writeSlot(out, low);
     out.putChecksumTrailer();
@@ -136,6 +144,7 @@ FirmwarePackage::load(const std::string &path)
     pkg.name = in.getString();
     pkg.granularityInstr = in.get<uint64_t>();
     pkg.columns = in.getVector<uint32_t>();
+    pkg.fixedPoint = in.get<uint8_t>() != 0;
     pkg.high = readSlot(in);
     pkg.low = readSlot(in);
     if (!in.good())
@@ -165,16 +174,50 @@ packageFromDual(const DualModelPredictor &predictor,
     pkg.low.scaler = predictor.lowSlot().scaler;
     pkg.low.threshold =
         static_cast<float>(predictor.lowSlot().model->threshold());
+
+    // PSCA_UC_FIXED=1: also carry the int8 tables; the package then
+    // declares itself fixed-point and VmPredictor scores with the
+    // quantized path under the int8 ops budget (quant.hh).
+    if (quant::ucFixedPointEnabled()) {
+        pkg.high.quantPayload =
+            quant::packPayload(*predictor.highSlot().model);
+        pkg.low.quantPayload =
+            quant::packPayload(*predictor.lowSlot().model);
+        if (!pkg.high.quantPayload.empty() &&
+            !pkg.low.quantPayload.empty()) {
+            pkg.fixedPoint = true;
+            pkg.high.quantOps =
+                quant::payloadOps(pkg.high.quantPayload);
+            pkg.low.quantOps = quant::payloadOps(pkg.low.quantPayload);
+        } else {
+            warn("PSCA_UC_FIXED=1 but model class has no quantized "
+                 "form; packaging the float path only");
+            pkg.high.quantPayload.clear();
+            pkg.low.quantPayload.clear();
+        }
+    }
     return pkg;
 }
 
 VmPredictor::VmPredictor(FirmwarePackage package)
     : package_(std::move(package))
-{}
+{
+    if (package_.fixedPoint) {
+        quantHigh_ = quant::unpackPayload(package_.high.quantPayload);
+        quantLow_ = quant::unpackPayload(package_.low.quantPayload);
+        PSCA_ASSERT(quantHigh_ && quantLow_,
+                    "fixed-point package lacks quantized payloads");
+    }
+}
 
 uint32_t
 VmPredictor::opsPerInference() const
 {
+    // Fixed-point packages run the int8 tables, so the ops budget is
+    // charged at the int8 cost model (1 op per MAC, quant.hh).
+    if (package_.fixedPoint)
+        return std::max(package_.high.quantOps,
+                        package_.low.quantOps);
     return static_cast<uint32_t>(
         std::max(package_.high.program.staticOpCount(),
                  package_.low.program.staticOpCount()));
@@ -227,6 +270,14 @@ VmPredictor::decide(const std::vector<const float *> &sub_rows,
         obs::StatRegistry::instance()
             .counter("controller.sanitized_inputs")
             .add(clamped);
+    }
+
+    if (package_.fixedPoint) {
+        // The uc runs the int8 tables; the sanitized features snap to
+        // the int8 grid inside the quantized scorer.
+        const Model &model = mode == CoreMode::HighPerf ? *quantHigh_
+                                                        : *quantLow_;
+        return model.score(scaled.data()) >= slot.threshold;
     }
 
     const double score =

@@ -15,9 +15,11 @@
 #ifndef PSCA_CORE_FIRMWARE_IMAGE_HH
 #define PSCA_CORE_FIRMWARE_IMAGE_HH
 
+#include <memory>
 #include <string>
 
 #include "core/controller.hh"
+#include "ml/model.hh"
 #include "uc/vm.hh"
 
 namespace psca {
@@ -30,6 +32,14 @@ struct FirmwareSlot
     UcProgram program;
     FeatureScaler scaler;
     float threshold = 0.5f;
+    /**
+     * Int8/fixed-point model tables (quant::packPayload), present
+     * when the package was built with `PSCA_UC_FIXED=1`. Empty in
+     * float-only packages.
+     */
+    std::string quantPayload;
+    /** Ops per inference under the int8 cost model (quant.hh). */
+    uint32_t quantOps = 0;
 };
 
 /** A complete deployable adaptation firmware package. */
@@ -39,6 +49,8 @@ struct FirmwarePackage
     uint64_t granularityInstr = 40000;
     /** Record columns feeding the model, in input order. */
     std::vector<uint32_t> columns;
+    /** True when the uc runs the int8 tables instead of the VM. */
+    bool fixedPoint = false;
     FirmwareSlot high;
     FirmwareSlot low;
 
@@ -87,6 +99,9 @@ class VmPredictor : public GatePredictor
   private:
     FirmwarePackage package_;
     UcVm vm_;
+    /** Deserialized int8 scorers when the package is fixed-point. */
+    std::unique_ptr<Model> quantHigh_;
+    std::unique_ptr<Model> quantLow_;
 };
 
 } // namespace psca

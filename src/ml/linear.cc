@@ -180,6 +180,30 @@ LogisticRegression::score(const float *x) const
     return sigmoid(z);
 }
 
+void
+LogisticRegression::scoreBatch(const float *X, int n,
+                               double *out) const
+{
+    constexpr int kLanes = 8;
+    const size_t stride = w_.size();
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const float *base = X + static_cast<size_t>(i) * stride;
+        double z[kLanes];
+        for (int l = 0; l < kLanes; ++l)
+            z[l] = b_;
+        for (size_t j = 0; j < stride; ++j) {
+            const double wj = w_[j];
+            for (int l = 0; l < kLanes; ++l)
+                z[l] += wj * base[static_cast<size_t>(l) * stride + j];
+        }
+        for (int l = 0; l < kLanes; ++l)
+            out[i + l] = sigmoid(z[l]);
+    }
+    for (; i < n; ++i)
+        out[i] = score(X + static_cast<size_t>(i) * stride);
+}
+
 uint32_t
 LogisticRegression::opsPerInference() const
 {
@@ -246,6 +270,36 @@ LinearSvmEnsemble::score(const float *x) const
     }
     return static_cast<double>(votes) /
         static_cast<double>(members_.size());
+}
+
+void
+LinearSvmEnsemble::scoreBatch(const float *X, int n, double *out) const
+{
+    constexpr int kLanes = 8;
+    const size_t stride = numInputs_;
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const float *base = X + static_cast<size_t>(i) * stride;
+        int votes[kLanes] = {};
+        for (const auto &w : members_) {
+            double z[kLanes];
+            for (int l = 0; l < kLanes; ++l)
+                z[l] = w[numInputs_];
+            for (size_t j = 0; j < stride; ++j) {
+                const double wj = w[j];
+                for (int l = 0; l < kLanes; ++l)
+                    z[l] +=
+                        wj * base[static_cast<size_t>(l) * stride + j];
+            }
+            for (int l = 0; l < kLanes; ++l)
+                votes[l] += z[l] >= 0.0 ? 1 : 0;
+        }
+        for (int l = 0; l < kLanes; ++l)
+            out[i + l] = static_cast<double>(votes[l]) /
+                static_cast<double>(members_.size());
+    }
+    for (; i < n; ++i)
+        out[i] = score(X + static_cast<size_t>(i) * stride);
 }
 
 uint32_t

@@ -43,6 +43,14 @@ class LogisticRegression : public Model
 
     size_t numInputs() const override { return w_.size(); }
     double score(const float *x) const override;
+
+    /**
+     * 8-lane blocked dot products; per lane the feature order (and
+     * the double accumulation) matches score() exactly, so results
+     * are bit-identical (DESIGN.md §14).
+     */
+    void scoreBatch(const float *X, int n, double *out) const override;
+
     uint32_t opsPerInference() const override;
     size_t memoryFootprintBytes() const override;
     std::string describe() const override;
@@ -75,6 +83,10 @@ class LinearSvmEnsemble : public Model
 
     size_t numInputs() const override { return numInputs_; }
     double score(const float *x) const override;
+
+    /** 8-lane blocked member votes, bit-identical to score(). */
+    void scoreBatch(const float *X, int n, double *out) const override;
+
     uint32_t opsPerInference() const override;
     size_t memoryFootprintBytes() const override;
     std::string describe() const override;

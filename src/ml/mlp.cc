@@ -5,6 +5,9 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/simd.hh"
+#include "ml/batch_kernels.hh"
+
 namespace psca {
 
 namespace {
@@ -64,6 +67,95 @@ MlpModel::score(const float *x) const
         act.swap(next);
     }
     return sigmoid(act[0]);
+}
+
+namespace mlkern {
+
+void
+mlpForwardBlockScalar(const MlpView &m, const float *xt,
+                      float *scratch, float *logits)
+{
+    constexpr int W = kMlpLanes;
+    int max_width = 0;
+    for (int l = 0; l <= m.numLayers; ++l)
+        max_width = std::max(max_width, m.sizes[l]);
+
+    float *act = scratch;
+    float *next = scratch + static_cast<size_t>(max_width) * W;
+    const int fan_in0 = m.sizes[0];
+    for (int i = 0; i < fan_in0 * W; ++i)
+        act[i] = xt[i];
+
+    for (int l = 0; l < m.numLayers; ++l) {
+        const int fan_in = m.sizes[l];
+        const int fan_out = m.sizes[l + 1];
+        const bool last = l + 1 == m.numLayers;
+        for (int f = 0; f < fan_out; ++f) {
+            const float *row =
+                m.weights[l] + static_cast<size_t>(f) * fan_in;
+            const float bias = m.biases[l][static_cast<size_t>(f)];
+            float sum[W];
+            for (int w = 0; w < W; ++w)
+                sum[w] = bias;
+            for (int i = 0; i < fan_in; ++i) {
+                const float wi = row[i];
+                const float *ai = act + static_cast<size_t>(i) * W;
+                for (int w = 0; w < W; ++w)
+                    sum[w] += wi * ai[w];
+            }
+            float *nf = next + static_cast<size_t>(f) * W;
+            for (int w = 0; w < W; ++w)
+                nf[w] = last ? sum[w] : std::max(0.0f, sum[w]);
+        }
+        std::swap(act, next);
+    }
+    for (int l = 0; l < W; ++l)
+        logits[l] = act[l];
+}
+
+} // namespace mlkern
+
+void
+MlpModel::scoreBatch(const float *X, int n, double *out) const
+{
+    if (n <= 0)
+        return;
+    constexpr int W = mlkern::kMlpLanes;
+    std::vector<const float *> wp, bp;
+    for (size_t l = 0; l < w_.size(); ++l) {
+        wp.push_back(w_[l].data());
+        bp.push_back(b_[l].data());
+    }
+    mlkern::MlpView view;
+    view.numLayers = static_cast<int>(w_.size());
+    view.sizes = sizes_.data();
+    view.weights = wp.data();
+    view.biases = bp.data();
+
+    const int max_width =
+        *std::max_element(sizes_.begin(), sizes_.end());
+    std::vector<float> xt(numInputs_ * W);
+    std::vector<float> scratch(2 * static_cast<size_t>(max_width) * W);
+    float logits[W];
+    const bool avx2 =
+        simd::useAvx2() && mlkern::mlpForwardAvx2Compiled();
+
+    for (int i = 0; i < n; i += W) {
+        const int lanes = std::min(W, n - i);
+        // Transpose the block; short tail blocks pad with zeros
+        // (padded lanes are computed and discarded).
+        for (size_t j = 0; j < numInputs_; ++j)
+            for (int l = 0; l < W; ++l)
+                xt[j * W + static_cast<size_t>(l)] =
+                    l < lanes
+                        ? X[static_cast<size_t>(i + l) * numInputs_ + j]
+                        : 0.0f;
+        (avx2 ? mlkern::mlpForwardBlockAvx2
+              : mlkern::mlpForwardBlockScalar)(
+            view, xt.data(), scratch.data(), logits);
+        for (int l = 0; l < lanes; ++l)
+            out[i + l] = sigmoid(static_cast<double>(logits[l]));
+    }
 }
 
 uint32_t

@@ -44,6 +44,16 @@ class MlpModel : public Model
 
     size_t numInputs() const override { return numInputs_; }
     double score(const float *x) const override;
+
+    /**
+     * Lane-blocked forward pass: 8 samples per block in transposed
+     * activation layout, dispatched to the AVX2 kernel when
+     * available (see batch_kernels.hh). Per sample the accumulation
+     * order matches score() exactly, so results are bit-identical
+     * regardless of the active SIMD level (DESIGN.md §14).
+     */
+    void scoreBatch(const float *X, int n, double *out) const override;
+
     uint32_t opsPerInference() const override;
     size_t memoryFootprintBytes() const override;
     std::string describe() const override;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ml/dataset.hh"
 
@@ -34,11 +35,43 @@ class Model
      */
     virtual double score(const float *x) const = 0;
 
+    /**
+     * Raw scores for n row-major feature vectors (stride =
+     * numInputs()): out[i] = score(X + i * numInputs()), bitwise.
+     * The base implementation is the scalar loop; vectorized
+     * overrides keep each sample's operation order (and therefore
+     * its exact double result) and only parallelize across samples
+     * (DESIGN.md §14).
+     */
+    virtual void
+    scoreBatch(const float *X, int n, double *out) const
+    {
+        for (int i = 0; i < n; ++i)
+            out[i] = score(X + static_cast<size_t>(i) * numInputs());
+    }
+
     /** Binary decision: score >= threshold. */
     bool
     predict(const float *x) const
     {
         return score(x) >= threshold_;
+    }
+
+    /**
+     * Batched decisions: out[i] = 1.0f when sample i gates, else
+     * 0.0f. Exactly predict() per sample — the scores come from
+     * scoreBatch() and the threshold compare stays in double — so
+     * batched scoring loops are bit-identical to the scalar path.
+     */
+    void
+    predictBatch(const float *X, int n, float *out) const
+    {
+        std::vector<double> scores(static_cast<size_t>(n > 0 ? n : 0));
+        scoreBatch(X, n, scores.data());
+        for (int i = 0; i < n; ++i)
+            out[i] = scores[static_cast<size_t>(i)] >= threshold_
+                ? 1.0f
+                : 0.0f;
     }
 
     /**

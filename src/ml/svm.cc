@@ -108,6 +108,45 @@ Chi2Svm::score(const float *x) const
     return 1.0 / (1.0 + std::exp(-z));
 }
 
+void
+Chi2Svm::scoreBatch(const float *X, int n, double *out) const
+{
+    if (n <= 0)
+        return;
+    if (alphas_.empty()) {
+        for (int i = 0; i < n; ++i)
+            out[i] = 0.0;
+        return;
+    }
+    constexpr int kLanes = 4;
+    const size_t stride = numInputs_;
+    std::vector<float> shifted(kLanes * stride);
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        for (int l = 0; l < kLanes; ++l) {
+            const float *x = X + static_cast<size_t>(i + l) * stride;
+            float *s = shifted.data() + static_cast<size_t>(l) * stride;
+            for (size_t j = 0; j < stride; ++j)
+                s[j] = x[j] - shift_[j];
+        }
+        double z[kLanes];
+        for (int l = 0; l < kLanes; ++l)
+            z[l] = bias_;
+        for (size_t k = 0; k < alphas_.size(); ++k) {
+            const float *sv = &sv_[k * stride];
+            for (int l = 0; l < kLanes; ++l)
+                z[l] += alphas_[k] *
+                    kernel(shifted.data() +
+                               static_cast<size_t>(l) * stride,
+                           sv);
+        }
+        for (int l = 0; l < kLanes; ++l)
+            out[i + l] = 1.0 / (1.0 + std::exp(-z[l]));
+    }
+    for (; i < n; ++i)
+        out[i] = score(X + static_cast<size_t>(i) * stride);
+}
+
 uint32_t
 Chi2Svm::opsPerInference() const
 {

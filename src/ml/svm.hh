@@ -39,6 +39,15 @@ class Chi2Svm : public Model
 
     size_t numInputs() const override { return numInputs_; }
     double score(const float *x) const override;
+
+    /**
+     * Blocked scoring: 4 samples share each support-vector row while
+     * it is hot in cache. Per sample every kernel evaluation and the
+     * accumulation order match score() exactly, so results are
+     * bit-identical (DESIGN.md §14).
+     */
+    void scoreBatch(const float *X, int n, double *out) const override;
+
     uint32_t opsPerInference() const override;
     size_t memoryFootprintBytes() const override;
     std::string describe() const override;

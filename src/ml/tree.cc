@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -308,6 +309,101 @@ RandomForest::score(const float *x) const
     for (const auto &tree : trees_)
         sum += tree->score(x);
     return sum / static_cast<double>(trees_.size());
+}
+
+void
+RandomForest::buildFlat() const
+{
+    for (const auto &tree : trees_) {
+        const auto &nodes = tree->nodes();
+        const int32_t base = static_cast<int32_t>(flat_.node.size());
+        flat_.roots.push_back(base);
+        // Longest root-to-leaf path of this tree, via an explicit
+        // DFS stack (trees are shallow; recursion is avoided only
+        // for uniformity with the firmware compiler).
+        int tree_depth = 0;
+        std::vector<std::pair<int32_t, int>> stack{{0, 0}};
+        while (!stack.empty()) {
+            const auto [idx, depth] = stack.back();
+            stack.pop_back();
+            const auto &nd = nodes[static_cast<size_t>(idx)];
+            if (nd.feature < 0) {
+                tree_depth = std::max(tree_depth, depth);
+            } else {
+                stack.emplace_back(nd.left, depth + 1);
+                stack.emplace_back(nd.right, depth + 1);
+            }
+        }
+        flat_.depths.push_back(tree_depth);
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            const auto &nd = nodes[i];
+            const bool leaf = nd.feature < 0;
+            const int32_t self = base + static_cast<int32_t>(i);
+            FlatNode fn;
+            fn.feature = leaf ? 0 : nd.feature;
+            fn.threshold = leaf
+                ? std::numeric_limits<float>::infinity()
+                : nd.threshold;
+            fn.left = leaf ? self : base + nd.left;
+            fn.right = leaf ? self : base + nd.right;
+            flat_.node.push_back(fn);
+            flat_.prob.push_back(nd.prob);
+        }
+    }
+}
+
+void
+RandomForest::scoreBatch(const float *X, int n, double *out) const
+{
+    if (n <= 0)
+        return;
+    std::call_once(flatOnce_, [this] { buildFlat(); });
+    const size_t stride = numInputs();
+    const double num_trees = static_cast<double>(trees_.size());
+    const FlatNode *nodes = flat_.node.data();
+    const float *probs = flat_.prob.data();
+    constexpr int kLanes = 8;
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const float *base = X + static_cast<size_t>(i) * stride;
+        double acc[kLanes] = {};
+        for (size_t t = 0; t < flat_.roots.size(); ++t) {
+            const int32_t root = flat_.roots[t];
+            const int depth = flat_.depths[t];
+            int32_t node[kLanes];
+            for (int l = 0; l < kLanes; ++l)
+                node[l] = root;
+            for (int d = 0; d < depth; ++d) {
+                for (int l = 0; l < kLanes; ++l) {
+                    const FlatNode nd =
+                        nodes[static_cast<size_t>(node[l])];
+                    const float x = base[static_cast<size_t>(l) *
+                                             stride +
+                                         static_cast<size_t>(
+                                             nd.feature)];
+                    // Identical compare to DecisionTree::score();
+                    // padded leaves self-loop (x <= +inf is true
+                    // except for NaN, whose right child is also
+                    // self), so trips past a leaf are no-ops. The
+                    // mask select (not ?:) keeps the step branch-
+                    // free: split outcomes are ~50/50, so a branch
+                    // here mispredicts its way to several times the
+                    // latency of the whole step.
+                    const int32_t go_left =
+                        -static_cast<int32_t>(x <= nd.threshold);
+                    node[l] = nd.right +
+                        ((nd.left - nd.right) & go_left);
+                }
+            }
+            for (int l = 0; l < kLanes; ++l)
+                acc[l] += static_cast<double>(
+                    probs[static_cast<size_t>(node[l])]);
+        }
+        for (int l = 0; l < kLanes; ++l)
+            out[i + l] = acc[l] / num_trees;
+    }
+    for (; i < n; ++i)
+        out[i] = score(X + static_cast<size_t>(i) * stride);
 }
 
 uint32_t

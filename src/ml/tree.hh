@@ -16,6 +16,7 @@
 #define PSCA_ML_TREE_HH
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.hh"
@@ -114,6 +115,19 @@ class RandomForest : public Model
 
     size_t numInputs() const override;
     double score(const float *x) const override;
+
+    /**
+     * Batched scoring over a flattened, full-depth-padded SoA copy
+     * of the ensemble: 8 samples walk each tree in lockstep with
+     * branchless (cmov) steps, so the dependent-load chains of the
+     * walks overlap instead of serializing. Leaves self-loop with a
+     * +inf threshold, making the walk a fixed-trip-count loop while
+     * visiting exactly the nodes score() visits; per-sample leaf
+     * probabilities accumulate in tree order, so every result is
+     * bit-identical to score() (DESIGN.md §14).
+     */
+    void scoreBatch(const float *X, int n, double *out) const override;
+
     uint32_t opsPerInference() const override;
     size_t memoryFootprintBytes() const override;
     std::string describe() const override;
@@ -127,7 +141,39 @@ class RandomForest : public Model
     std::vector<std::unique_ptr<DecisionTree>> takeTrees();
 
   private:
+    /**
+     * Flattened node storage for scoreBatch(): one SoA array over
+     * all trees, every leaf padded into a self-loop (feature 0,
+     * threshold +inf, children = self) so a depth-bounded walk needs
+     * no per-step leaf test. Built lazily on first batched call.
+     */
+    /**
+     * One packed node: everything a traversal step reads sits in 16
+     * bytes (a single cache-line touch), instead of four scattered
+     * per-field arrays — the walk is load-bound, so this is what
+     * buys the batched speedup.
+     */
+    struct alignas(16) FlatNode
+    {
+        int32_t feature;
+        float threshold;
+        int32_t left;
+        int32_t right;
+    };
+
+    struct FlatNodes
+    {
+        std::vector<FlatNode> node;
+        std::vector<float> prob;     //!< per node, read once at leaf
+        std::vector<int32_t> roots;  //!< per-tree root index
+        std::vector<int32_t> depths; //!< per-tree deepest leaf
+    };
+
+    void buildFlat() const;
+
     std::vector<std::unique_ptr<DecisionTree>> trees_;
+    mutable FlatNodes flat_;
+    mutable std::once_flag flatOnce_;
 };
 
 } // namespace psca

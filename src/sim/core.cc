@@ -295,16 +295,18 @@ ClusteredCore::processUop(const MicroOp &op)
         static_cast<uint64_t>(cfg_.frontendDepth);
     dispatch = std::max(dispatch, minDispatchTime_);
 
+    // Stall checks are branchless (flag-add + max): the conditions
+    // are data-dependent and mispredict heavily; the counted totals
+    // are identical.
     const uint64_t rob_free = robRetire_[robSlot_];
-    if (rob_free > dispatch) {
-        dispatch = rob_free;
-        hot_.inc(Ctr::RobFullStalls);
-    }
+    hot_.scalar[static_cast<size_t>(Ctr::RobFullStalls)] +=
+        rob_free > dispatch;
+    dispatch = std::max(dispatch, rob_free);
     const size_t rs_slot = rsSlot_[cluster];
-    if (rsIssueTime_[cluster][rs_slot] > dispatch) {
-        dispatch = rsIssueTime_[cluster][rs_slot];
-        hot_.inc(ClusterCtr::RsFullStalls, cluster);
-    }
+    const uint64_t rs_free = rsIssueTime_[cluster][rs_slot];
+    hot_.cluster[cluster][static_cast<size_t>(
+        ClusterCtr::RsFullStalls)] += rs_free > dispatch;
+    dispatch = std::max(dispatch, rs_free);
     size_t sq_slot = 0;
     if (op.isStore()) {
         sq_slot = sqSlot_;
@@ -316,35 +318,36 @@ ClusteredCore::processUop(const MicroOp &op)
     hot_.inc(Ctr::UopsDispatched);
 
     // ---- Operand readiness --------------------------------------------
+    // Branchless readiness: invalid sources read slot 0 and
+    // contribute t = 0, which never raises `ready`.
     uint64_t ready = dispatch + 1;
     int num_srcs = 0;
+    const bool hp = mode_ == CoreMode::HighPerf;
+    const uint64_t fwd_delay =
+        static_cast<uint64_t>(cfg_.interClusterFwdDelay);
     for (int8_t src : {op.src0, op.src1}) {
-        if (src == kNoReg)
-            continue;
-        ++num_srcs;
-        uint64_t t = regReady_[src];
-        if (mode_ == CoreMode::HighPerf &&
-            regCluster_[src] != cluster) {
-            t += static_cast<uint64_t>(cfg_.interClusterFwdDelay);
-            hot_.inc(Ctr::InterClusterFwd);
-        }
+        const bool valid = src != kNoReg;
+        const size_t idx = valid ? static_cast<size_t>(src) : 0;
+        const bool cross = valid && hp && regCluster_[idx] != cluster;
+        const uint64_t t =
+            (valid ? regReady_[idx] : 0) + (cross ? fwd_delay : 0);
+        num_srcs += valid;
+        hot_.scalar[static_cast<size_t>(Ctr::InterClusterFwd)] += cross;
         ready = std::max(ready, t);
     }
     hot_.inc(Ctr::PhysRegRefs, static_cast<uint64_t>(num_srcs));
-    if (ready <= dispatch + 1) {
-        hot_.inc(Ctr::UopsReady);
-    } else {
-        hot_.inc(Ctr::UopsStalledOnDep);
-        const uint64_t wait = ready - (dispatch + 1);
-        hot_.inc(Ctr::DepWaitSum, wait);
-        ++hot_.depWaitHist[residencyBucket(wait)];
-    }
+    const bool dep_stall = ready > dispatch + 1;
+    hot_.scalar[static_cast<size_t>(Ctr::UopsReady)] += !dep_stall;
+    hot_.scalar[static_cast<size_t>(Ctr::UopsStalledOnDep)] +=
+        dep_stall;
+    const uint64_t wait = dep_stall ? ready - (dispatch + 1) : 0;
+    hot_.inc(Ctr::DepWaitSum, wait);
+    hot_.depWaitHist[residencyBucket(wait)] += dep_stall;
 
     // ---- Issue --------------------------------------------------------
     bool first_in_cycle = false;
     uint64_t issue = issueRing_[cluster].reserve(ready, &first_in_cycle);
-    if (first_in_cycle)
-        ++busyIssueCycles_[cluster];
+    busyIssueCycles_[cluster] += first_in_cycle;
     if (op.isLoad())
         issue = std::max(issue, loadPorts_[cluster].reserve(issue));
 
@@ -409,8 +412,8 @@ ClusteredCore::processUop(const MicroOp &op)
     // ---- Branch resolution ---------------------------------------------
     if (op.isBranch()) {
         hot_.inc(Ctr::BranchesRetired);
-        if (op.branchTaken)
-            hot_.inc(Ctr::BranchTakenRetired);
+        hot_.scalar[static_cast<size_t>(Ctr::BranchTakenRetired)] +=
+            op.branchTaken;
         const bool correct =
             bpred_.predictAndUpdate(op.pc, op.branchTaken);
         if (!correct) {
@@ -448,15 +451,16 @@ ClusteredCore::processUop(const MicroOp &op)
     hot_.inc(Ctr::InstRetired);
     hot_.inc(Ctr::UopsRetired);
     ++hot_.opcRetired[static_cast<size_t>(op.cls)];
-    if (op.isLoad())
-        hot_.inc(Ctr::LoadsRetired);
-    if (op.isStore())
-        hot_.inc(Ctr::StoresRetired);
-    if (op.isFp())
-        hot_.inc(Ctr::FpOpsRetired);
-    else if (op.cls == OpClass::IntAlu || op.cls == OpClass::IntMul ||
-             op.cls == OpClass::IntDiv)
-        hot_.inc(Ctr::IntOpsRetired);
+    hot_.scalar[static_cast<size_t>(Ctr::LoadsRetired)] +=
+        op.isLoad();
+    hot_.scalar[static_cast<size_t>(Ctr::StoresRetired)] +=
+        op.isStore();
+    const bool fp = op.isFp();
+    const bool intop = !fp &&
+        (op.cls == OpClass::IntAlu || op.cls == OpClass::IntMul ||
+         op.cls == OpClass::IntDiv);
+    hot_.scalar[static_cast<size_t>(Ctr::FpOpsRetired)] += fp;
+    hot_.scalar[static_cast<size_t>(Ctr::IntOpsRetired)] += intop;
 
     const uint64_t rob_res = retire - dispatch;
     hot_.inc(Ctr::RobOccSum, rob_res);
@@ -587,6 +591,97 @@ ClusteredCore::run(TraceGenerator &gen, uint64_t n)
         }
     }
     return endInterval(snap, n, obs::elapsedNs(t0));
+}
+
+void
+ClusteredCore::runBatch(ReplayLane *lanes, size_t count)
+{
+    PSCA_ASSERT(count > 0 && count <= kMaxReplayLanes,
+                "runBatch lane count out of range");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Per-lane replay cursors, compacted as lanes finish.
+    struct Cursor
+    {
+        ClusteredCore *core;
+        const uint64_t *pc;
+        const uint64_t *addr;
+        const uint8_t *cls;
+        const int8_t *dst;
+        const int8_t *src0;
+        const int8_t *src1;
+        const uint8_t *taken;
+        size_t pos;
+        size_t end;
+        size_t lane; //!< index into lanes[] (for stats writeback)
+    };
+    Cursor cur[kMaxReplayLanes];
+    IntervalSnapshot snaps[kMaxReplayLanes];
+
+    size_t live = 0;
+    for (size_t i = 0; i < count; ++i) {
+        ReplayLane &ln = lanes[i];
+        PSCA_ASSERT(ln.core && ln.trace, "runBatch lane unset");
+        PSCA_ASSERT(ln.begin + ln.n <= ln.trace->size(),
+                    "batched replay range out of bounds");
+        snaps[i] = ln.core->beginInterval();
+        if (ln.n == 0)
+            continue;
+        Cursor &c = cur[live++];
+        c.core = ln.core;
+        c.pc = ln.trace->pc();
+        c.addr = ln.trace->addr();
+        c.cls = ln.trace->cls();
+        c.dst = ln.trace->dst();
+        c.src0 = ln.trace->src0();
+        c.src1 = ln.trace->src1();
+        c.taken = ln.trace->taken();
+        c.pos = ln.begin;
+        c.end = ln.begin + static_cast<size_t>(ln.n);
+        c.lane = i;
+    }
+
+    while (live > 0) {
+        // Trips all live lanes can take without a bounds check.
+        size_t step = cur[0].end - cur[0].pos;
+        for (size_t j = 1; j < live; ++j)
+            step = std::min(step, cur[j].end - cur[j].pos);
+
+        for (size_t s = 0; s < step; ++s) {
+            for (size_t j = 0; j < live; ++j) {
+                Cursor &c = cur[j];
+                const size_t i = c.pos + s;
+                MicroOp op;
+                op.pc = c.pc[i];
+                op.addr = c.addr[i];
+                op.cls = static_cast<OpClass>(c.cls[i]);
+                op.dst = c.dst[i];
+                op.src0 = c.src0[i];
+                op.src1 = c.src1[i];
+                op.branchTaken = c.taken[i] != 0;
+                c.core->processUop(op);
+            }
+        }
+
+        // Advance and compact finished lanes.
+        size_t kept = 0;
+        for (size_t j = 0; j < live; ++j) {
+            cur[j].pos += step;
+            if (cur[j].pos < cur[j].end)
+                cur[kept++] = cur[j];
+        }
+        live = kept;
+    }
+
+    // Wall time is attributed evenly: only the batch total is
+    // meaningful, and sim.replay_ns is process accounting, not a
+    // result stat.
+    const uint64_t elapsed = obs::elapsedNs(t0);
+    for (size_t i = 0; i < count; ++i) {
+        ReplayLane &ln = lanes[i];
+        ln.stats = ln.core->endInterval(snaps[i], ln.n,
+                                        elapsed / count);
+    }
 }
 
 IntervalStats

@@ -60,6 +60,24 @@ struct IntervalStats
     }
 };
 
+class ClusteredCore;
+
+/**
+ * One lane of a batched replay (ClusteredCore::runBatch). Each lane
+ * is an independent (core, decoded-trace window) pair: the kernel
+ * advances every lane one micro-op per loop trip, so the serial
+ * timestamp chains of up to kMaxReplayLanes chips overlap in the
+ * host's out-of-order window instead of stalling back to back.
+ */
+struct ReplayLane
+{
+    ClusteredCore *core = nullptr;
+    const DecodedTrace *trace = nullptr;
+    size_t begin = 0;
+    uint64_t n = 0;
+    IntervalStats stats; //!< out: this lane's interval summary
+};
+
 /** Which trace representation run(TraceGenerator&, n) replays. */
 enum class ReplayPath : uint8_t
 {
@@ -138,6 +156,21 @@ class ClusteredCore
      */
     IntervalStats run(const DecodedTrace &trace, size_t begin,
                       uint64_t n);
+
+    /** Upper bound on runBatch lane count (state must stay cached). */
+    static constexpr size_t kMaxReplayLanes = 16;
+
+    /**
+     * Advance up to kMaxReplayLanes independent (core, trace window)
+     * lanes in lockstep, one micro-op per lane per loop trip. Each
+     * lane's core executes exactly the processUop() sequence that
+     * lanes[i].core->run(*lanes[i].trace, begin, n) would, so
+     * per-core counters, cycles, and gating labels are bit-identical
+     * to the serial SoA path by construction; the interleave only
+     * overlaps the independent lanes' dependency chains. Fills
+     * lanes[i].stats. Lanes must reference distinct cores.
+     */
+    static void runBatch(ReplayLane *lanes, size_t count);
 
     /** Select the replay representation (tests/benches). */
     void setReplayPath(ReplayPath path) { replayPath_ = path; }
