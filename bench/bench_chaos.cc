@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Chaos soak for the distributed fleet (DESIGN.md §13): run a small
+ * deterministic campaign once clean and single-process, then again
+ * as a coordinator + N-worker fleet under a seeded network fault
+ * schedule (frame corruption, torn sends, connection resets, recv
+ * stalls, dropped heartbeats, duplicated Results) with one
+ * coordinator SIGKILL-and-restart mid-scope, and assert every
+ * artifact is byte-identical between the two runs.
+ *
+ * The schedule is a pure function of PSCA_CHAOS_SEED, so a failing
+ * soak replays exactly. The chaos event timeline (kill, restart,
+ * rejoin tallies) and the recovery accounting land as chaos.* gauges
+ * and structured events in BENCH_chaos.json.
+ *
+ * Same fork discipline as tests/test_dist.cc: the bench parent never
+ * touches the ThreadPool, SimMemo, Journal, or FaultRegistry
+ * singletons — every pipeline runs in a forked child that sets its
+ * role/fault env after the fork and _exit()s.
+ */
+
+#include "bench_common.hh"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/journal.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/runner.hh"
+#include "dist/dist.hh"
+#include "telemetry/counters.hh"
+#include "trace/genome.hh"
+
+using namespace psca;
+using namespace psca::bench;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr size_t kCorpusSize = 12;
+
+/**
+ * The campaign every fleet process runs (lockstep-redundant): corpus
+ * record -> dataset -> forest fit -> scored result artifact. The
+ * corpus and forest scopes are the Distributed ones.
+ */
+int
+childPipeline()
+{
+    obs::RunReportGuard report("chaos_fleet");
+
+    BuildConfig build;
+    build.intervalInstr = 5000;
+    build.warmupInstr = 10000;
+    build.counterIds = {
+        CounterRegistry::index(Ctr::InstRetired),
+        CounterRegistry::index(Ctr::StallCount),
+        CounterRegistry::index(Ctr::L1dMiss),
+        CounterRegistry::index(Ctr::UopsStalledOnDep),
+    };
+
+    std::vector<Workload> fleet;
+    std::vector<uint32_t> ids;
+    for (uint64_t i = 0; i < kCorpusSize; ++i) {
+        Workload w;
+        w.genome =
+            sampleGenome(static_cast<AppCategory>(i % 6), 900 + i);
+        w.inputSeed = 1;
+        w.lengthInstr = 300000;
+        w.name = w.genome.name;
+        fleet.push_back(std::move(w));
+        ids.push_back(static_cast<uint32_t>(i));
+    }
+    const std::vector<TraceRecord> records =
+        recordCorpus(fleet, ids, build, "chaosb");
+
+    AssemblyOptions ao;
+    ao.granularityInstr = 5000;
+    ao.pSla = 0.90;
+    const Dataset ds =
+        assembleDataset(records, ao, build.intervalInstr);
+
+    ForestConfig fc;
+    fc.numTrees = 8;
+    fc.maxDepth = 6;
+    fc.seed = 5;
+    const RandomForest rf(ds, fc);
+
+    uint64_t h = ds.contentHash();
+    std::vector<double> scores(ds.numSamples());
+    for (size_t i = 0; i < ds.numSamples(); ++i)
+        scores[i] = rf.score(ds.row(i));
+    h = fnv1aUpdate(h, scores.data(), scores.size() * sizeof(double));
+    const bool ok = writeArtifactFile(
+        cacheDirectory() + "/result.bin", [&](BinaryWriter &out) {
+            out.put(h);
+            out.put<uint64_t>(ds.numSamples());
+        });
+    return ok ? 0 : 1;
+}
+
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = "/tmp/psca_chaos_bench/" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+/** Pull one "name": value number out of a run-report JSON file. */
+double
+reportValue(const std::string &path, const std::string &name)
+{
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::string key = "\"" + name + "\":";
+    const size_t at = text.find(key);
+    if (at == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+/**
+ * Fork one fleet process with role + fault env set after the fork.
+ * Workers journal nothing (the coordinator owns the journal) and
+ * report into their own subdirectory.
+ */
+pid_t
+forkFleetChild(const char *role, const std::string &dir, int workers,
+               int worker_index, const std::string &fault_spec,
+               uint64_t fault_seed)
+{
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    setenv("PSCA_CACHE_DIR", dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", dir.c_str(), 1);
+    setenv("PSCA_DIST_ROLE", role, 1);
+    setenv("PSCA_FAULTS", fault_spec.c_str(), 1);
+    setenv("PSCA_FAULT_SEED",
+           std::to_string(fault_seed).c_str(), 1);
+    if (std::strcmp(role, "coordinator") == 0) {
+        setenv("PSCA_DIST_WORKERS",
+               std::to_string(workers).c_str(), 1);
+    } else {
+        setenv("PSCA_JOURNAL", "0", 1);
+        setenv("PSCA_DIST_RETRIES", "10", 1);
+        setenv("PSCA_DIST_HEARTBEAT_MS", "100", 1);
+        const std::string rdir =
+            dir + "/w" + std::to_string(worker_index);
+        fs::create_directories(rdir);
+        setenv("PSCA_REPORT_DIR", rdir.c_str(), 1);
+    }
+    // The bench parent already sits inside guardedMain, so the
+    // child's call is the nested (pass-through) form — it will not
+    // arm the distribution layer itself. Do it explicitly around
+    // the body.
+    dist::maybeInitFromEnv();
+    const int rc =
+        runner::guardedMain([] { return childPipeline(); });
+    dist::shutdown();
+    _exit(rc);
+}
+
+int
+run()
+{
+    ReportGuard report("chaos");
+    banner("Chaos soak: fleet under seeded network faults + "
+           "coordinator crash-resume");
+    auto &reg = obs::StatRegistry::instance();
+
+    const int workers = static_cast<int>(
+        env::intOr("PSCA_CHAOS_WORKERS", 3, 1, 16));
+    const auto seed = static_cast<uint64_t>(
+        env::intOr("PSCA_CHAOS_SEED", 1234, 0,
+                   std::numeric_limits<long long>::max()));
+
+    // Clean single-process reference.
+    const std::string ref_dir = scratchDir("ref");
+    {
+        std::fflush(nullptr);
+        const pid_t pid = fork();
+        if (pid == 0) {
+            setenv("PSCA_CACHE_DIR", ref_dir.c_str(), 1);
+            setenv("PSCA_REPORT_DIR", ref_dir.c_str(), 1);
+            setenv("PSCA_FAULTS", "", 1);
+            _exit(runner::guardedMain([] { return childPipeline(); }));
+        }
+        int status = 0;
+        waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "chaos: reference run failed; aborting\n");
+            return 1;
+        }
+    }
+
+    // Seeded fault schedule: rates drawn once from the chaos seed,
+    // per-fire decisions drawn by the children from the same seed
+    // through the PSCA_FAULTS substream machinery.
+    Rng rng(mixSeeds(seed, 0x43484153u /* "CHAS" */));
+    std::ostringstream spec;
+    spec << "net.frame_corrupt:" << rng.uniform(0.002, 0.02)
+         << ",net.torn_send:" << rng.uniform(0.002, 0.02)
+         << ",net.conn_reset:" << rng.uniform(0.002, 0.02)
+         << ",net.recv_stall:" << rng.uniform(0.01, 0.05) << ":20"
+         << ",net.heartbeat_drop:0.2"
+         << ",net.dup_result:" << rng.uniform(0.05, 0.2);
+    const uint64_t kill_at = 1 + rng.below(3);
+    std::printf("schedule (seed %llu): %s\n",
+                static_cast<unsigned long long>(seed),
+                spec.str().c_str());
+    std::printf("coordinator SIGKILL after %llu journal entries, "
+                "%d workers\n\n",
+                static_cast<unsigned long long>(kill_at), workers);
+
+    const std::string dir = scratchDir("run");
+    const auto t0 = std::chrono::steady_clock::now();
+    auto since = [&t0] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    emitEvent("chaos", LogLevel::Info, "fleet launched");
+    pid_t coord = forkFleetChild("coordinator", dir, workers, 0,
+                                 spec.str(), seed);
+    std::vector<pid_t> kids;
+    for (int i = 1; i <= workers; ++i)
+        kids.push_back(forkFleetChild("worker", dir, workers, i,
+                                      spec.str(), seed));
+
+    // Wait for mid-scope progress, then kill the coordinator and
+    // start its replacement — the journal replays, the workers
+    // rejoin through the republished address file.
+    const std::string journal_path = dir + "/journal.psj";
+    int kills = 0;
+    for (int spins = 0; spins < 120000; ++spins) {
+        if (Journal::countEntries(journal_path) >= kill_at) {
+            if (kill(coord, SIGKILL) == 0)
+                kills = 1;
+            break;
+        }
+        int status = 0;
+        if (waitpid(coord, &status, WNOHANG) == coord) {
+            std::fprintf(stderr, "chaos: coordinator exited before "
+                                 "reaching the kill point\n");
+            coord = -1;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (kills == 1) {
+        int status = 0;
+        waitpid(coord, &status, 0);
+        std::printf("[%7.3f s] coordinator SIGKILLed (journal at "
+                    "%llu entries)\n",
+                    since(),
+                    static_cast<unsigned long long>(kill_at));
+        emitEvent("chaos", LogLevel::Warn,
+                  "coordinator SIGKILLed mid-scope");
+        coord = forkFleetChild("coordinator", dir, workers, 0,
+                               spec.str(), seed);
+        std::printf("[%7.3f s] replacement coordinator started\n",
+                    since());
+        emitEvent("chaos", LogLevel::Info,
+                  "replacement coordinator started");
+    }
+
+    int rc = 0;
+    if (coord > 0) {
+        int status = 0;
+        waitpid(coord, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            rc = 1;
+    }
+    for (pid_t w : kids) {
+        int status = 0;
+        waitpid(w, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            rc = 1;
+    }
+    std::printf("[%7.3f s] fleet drained (rc %d)\n", since(), rc);
+
+    // Byte-identity verdict: result artifact + every corpus cache
+    // file must match the clean reference exactly.
+    int compared = 0;
+    int mismatched = 0;
+    for (const auto &e : fs::directory_iterator(ref_dir)) {
+        const std::string name = e.path().filename().string();
+        if (name != "result.bin" && name.rfind("chaosb_", 0) != 0)
+            continue;
+        ++compared;
+        if (slurp(dir + "/" + name) != slurp(ref_dir + "/" + name)) {
+            ++mismatched;
+            std::fprintf(stderr, "chaos: artifact DIVERGED: %s\n",
+                         name.c_str());
+        }
+    }
+
+    const std::string coord_report = dir + "/chaos_fleet.json";
+    const double rejoins = reportValue(coord_report, "dist.rejoins");
+    const double duplicates =
+        reportValue(coord_report, "dist.duplicate_results");
+    double fallbacks =
+        reportValue(coord_report, "dist.local_fallbacks");
+    double net_fires = 0.0;
+    static const char *const kNetSites[] = {
+        "net.frame_corrupt", "net.torn_send",      "net.conn_reset",
+        "net.recv_stall",    "net.heartbeat_drop", "net.dup_result"};
+    std::vector<std::string> reports = {coord_report};
+    for (int i = 1; i <= workers; ++i)
+        reports.push_back(dir + "/w" + std::to_string(i) +
+                          "/chaos_fleet.json");
+    for (const auto &r : reports) {
+        fallbacks += r == coord_report
+            ? 0.0
+            : reportValue(r, "dist.local_fallbacks");
+        for (const char *site : kNetSites)
+            net_fires += reportValue(
+                r, std::string("fault.") + site + ".fires");
+    }
+
+    reg.gauge("chaos.workers").set(workers);
+    reg.gauge("chaos.seed").set(static_cast<double>(seed));
+    reg.gauge("chaos.kill_after_entries")
+        .set(static_cast<double>(kill_at));
+    reg.gauge("chaos.coordinator_kills").set(kills);
+    reg.gauge("chaos.artifacts_compared").set(compared);
+    reg.gauge("chaos.artifact_mismatches").set(mismatched);
+    reg.gauge("chaos.rejoins").set(rejoins);
+    reg.gauge("chaos.local_fallbacks").set(fallbacks);
+    reg.gauge("chaos.duplicate_results").set(duplicates);
+    reg.gauge("chaos.net_fault_fires").set(net_fires);
+
+    const bool pass = rc == 0 && compared >= 1 && mismatched == 0 &&
+        kills >= 1 && rejoins >= 1 && fallbacks == 0;
+    std::printf("\n%d artifacts compared, %d diverged; %d "
+                "coordinator kill(s); %.0f rejoin(s), %.0f local "
+                "fallback(s), %.0f duplicate result(s), %.0f net "
+                "fault fire(s)\n",
+                compared, mismatched, kills, rejoins, fallbacks,
+                duplicates, net_fires);
+    std::printf("chaos soak: %s\n",
+                pass ? "PASS — artifacts byte-identical under "
+                       "faults + coordinator crash-resume"
+                     : "FAIL");
+    return pass ? 0 : 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    return psca::runner::guardedMain(run);
+}

@@ -41,6 +41,26 @@
  *   persist.cache_corrupt     a corpus cache file fails checksum
  *   persist.io_error          transient open/IO failure (bounded
  *                             retry with backoff handles it)
+ *   net.frame_corrupt         one wire frame is corrupted in flight;
+ *                             the receiver detects the bad checksum
+ *                             and drops the connection
+ *   net.torn_send             a frame send tears mid-way and the
+ *                             connection dies with a partial frame
+ *                             on the wire
+ *   net.conn_reset            the connection resets instead of
+ *                             delivering a frame
+ *   net.recv_stall            a receive stalls param ms (default 20)
+ *                             before reading
+ *   net.heartbeat_drop        a worker heartbeat is silently dropped
+ *   net.dup_result            a worker delivers one Result frame
+ *                             twice (the coordinator dedupes by unit
+ *                             index, first write wins)
+ *
+ * The net.* sites key their draws by stable wire identities (scope
+ * hash, unit index, heartbeat sequence) mixed with the connection
+ * generation, so a retry after reconnect draws a fresh substream and
+ * seeded chaos schedules cannot livelock a rejoining worker
+ * (src/dist/netfault.hh).
  */
 
 #ifndef PSCA_COMMON_FAULT_HH

@@ -12,11 +12,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "common/env.hh"
 #include "common/journal.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "dist/netfault.hh"
 #include "dist/protocol.hh"
 #include "obs/stats.hh"
 
@@ -48,14 +50,22 @@ parseHostPort(const std::string &spec, std::string &host, int &port)
 }
 
 void
-setRecvTimeout(int fd, double seconds)
+setSockTimeouts(int fd, double seconds)
 {
     timeval tv = {};
     tv.tv_sec = static_cast<time_t>(seconds);
     tv.tv_usec = static_cast<suseconds_t>(
         (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
+
+// Chaos-substream lanes for coordinator-side wire faults, keyed per
+// connection by (lane, worker id, frame sequence). Worker ids are
+// monotonically fresh across rejoins, so a retried handshake or
+// delivery always draws a new substream and cannot livelock.
+constexpr uint64_t kCoordRxLane = 0xc0de0001u;
+constexpr uint64_t kCoordTxLane = 0xc0de0002u;
 
 } // namespace
 
@@ -187,7 +197,13 @@ Coordinator::acceptNew()
     const int fd = ::accept(listenFd_, nullptr, nullptr);
     if (fd < 0)
         return;
-    setRecvTimeout(fd, std::max(5.0, heartbeatTimeoutS_));
+    // The serve loop is single-threaded: one connection mid-frame
+    // (or one peer not draining its socket) must never hold every
+    // other worker's fetches hostage for the full heartbeat window.
+    // poll() gates readiness, so a short per-call bound only bites
+    // on genuinely wedged wire traffic — which dropWorker() then
+    // converts into a reassignment the fleet absorbs.
+    setSockTimeouts(fd, std::min(heartbeatTimeoutS_, 5.0));
     Conn c;
     c.fd = fd;
     c.lastSeen = std::chrono::steady_clock::now();
@@ -216,6 +232,15 @@ Coordinator::dropWorker(size_t idx, const char *why, Scope *ss)
         counter("dist.units_reassigned").add(reassigned);
     }
     const bool clean = std::strcmp(why, "bye") == 0;
+    if (c.helloed) {
+        // Re-anchor the rejoin grace at the moment of *observed*
+        // loss. lastLive_ otherwise only advances while the serve
+        // loop spins; if the loop was wedged in one blocking socket
+        // call, the stale timestamp would make the fleet look long
+        // dead the instant it recovers and trigger local fallback
+        // just as the dropped workers are reconnecting.
+        lastLive_ = std::chrono::steady_clock::now();
+    }
     if (c.helloed && !clean)
         counter("dist.workers_lost").add();
     obs::StatRegistry::instance()
@@ -236,8 +261,13 @@ Coordinator::handleFrame(size_t idx, Scope &ss)
 {
     Conn &c = conns_[idx];
     Frame f;
-    const RecvStatus st = recvFrame(c.fd, f);
+    const RecvStatus st = recvFrameChaos(
+        c.fd, f,
+        mixSeeds(mixSeeds(kCoordRxLane, c.id), c.rxSeq++),
+        maxFramePayloadCap());
     if (st != RecvStatus::Ok) {
+        if (st == RecvStatus::Oversized)
+            counter("dist.oversized_frames").add();
         dropWorker(idx,
                    st == RecvStatus::Closed ? "disconnected"
                                             : recvStatusName(st),
@@ -249,7 +279,10 @@ Coordinator::handleFrame(size_t idx, Scope &ss)
 
     auto reply = [&](Msg type, const std::string &payload) {
         counter("dist.bytes_sent").add(payload.size() + 17);
-        if (!sendFrame(c.fd, type, payload)) {
+        if (!sendFrameChaos(c.fd, type, payload,
+                            mixSeeds(mixSeeds(kCoordTxLane, c.id),
+                                     c.txSeq++)))
+        {
             dropWorker(idx, "send failed", &ss);
             return false;
         }
@@ -295,6 +328,7 @@ Coordinator::handleFrame(size_t idx, Scope &ss)
       case Msg::Hello: {
         const auto version = in.get<uint32_t>();
         const auto threads = in.get<uint32_t>();
+        const auto prev_id = in.get<uint32_t>();
         if (!in.good() || version != kProtocolVersion) {
             replyError("protocol version mismatch");
             dropWorker(idx, "bad hello", &ss);
@@ -305,13 +339,31 @@ Coordinator::handleFrame(size_t idx, Scope &ss)
         c.threads = std::max<uint32_t>(1, threads);
         ++joined_;
         counter("dist.workers_joined").add();
+        if (prev_id != 0) {
+            // A rejoining worker: it gets a fresh id, so retire the
+            // snapshot its previous incarnation shipped — the next
+            // ScopeLeave carries a cumulative superset and must not
+            // be double-merged into /stats.json.
+            counter("dist.rejoins").add();
+            {
+                std::lock_guard<std::mutex> lock(snapMu_);
+                workerSnapshots_.erase(prev_id);
+            }
+            inform("dist: worker ", c.id, " rejoined (was ",
+                   prev_id, ", ", c.threads, " threads)");
+            emitEvent("dist", LogLevel::Info,
+                      "worker " + std::to_string(c.id) +
+                          " rejoined (was " +
+                          std::to_string(prev_id) + ")");
+        } else {
+            inform("dist: worker ", c.id, " joined (", c.threads,
+                   " threads)");
+            emitEvent("dist", LogLevel::Info,
+                      "worker " + std::to_string(c.id) + " joined");
+        }
         obs::StatRegistry::instance()
             .gauge("dist.workers_connected")
             .set(static_cast<double>(liveWorkers()));
-        inform("dist: worker ", c.id, " joined (", c.threads,
-               " threads)");
-        emitEvent("dist", LogLevel::Info,
-                  "worker " + std::to_string(c.id) + " joined");
         BinaryWriter w;
         w.put<uint32_t>(c.id);
         return reply(Msg::Welcome, w.takeBuffer());
@@ -379,9 +431,12 @@ Coordinator::handleFrame(size_t idx, Scope &ss)
         if (assigned_it != c.assigned.end())
             c.assigned.erase(assigned_it);
         if (ss.doneSet.count(unit) != 0) {
-            // A unit reassigned after a heartbeat timeout can land
-            // twice; both copies are byte-identical, so the second
-            // is simply acknowledged and ignored.
+            // A unit reassigned after a heartbeat timeout — or
+            // deliberately duplicated by the net.dup_result chaos
+            // site — can land twice; both copies are byte-identical
+            // (first write wins), so the second is simply
+            // acknowledged and ignored.
+            counter("dist.duplicate_results").add();
             return reply(Msg::Ack, "");
         }
         BinaryReader payload(bytes.data(), bytes.size());
@@ -519,6 +574,7 @@ Coordinator::runScope(
         c.assigned.clear();
     }
     counter("dist.scopes_served").add();
+    lastLive_ = std::chrono::steady_clock::now();
     const uint64_t span_start =
         traceHooksEnabled() ? steadyNowNs() : 0;
 
@@ -563,23 +619,41 @@ Coordinator::runScope(
                 break;
         }
 
-        if (liveWorkers() == 0 && assignmentGateOpen() && !complete) {
-            // No fleet left. The local parallelFor path re-executes
-            // every still-pending index deterministically; units
-            // already journaled just get rewritten with identical
-            // bytes.
-            warn("dist: no live workers for scope '", scope,
-                 "'; falling back to local execution");
-            emitEvent("dist", LogLevel::Warn,
-                      "scope '" + scope +
-                          "' falling back to local execution");
-            counter("dist.local_fallbacks").add();
-            if (span_start)
-                traceSpanHook("dist.scope", span_start,
-                              steadyNowNs(), "units",
-                              static_cast<long long>(n), "fallback",
-                              1);
-            return false;
+        const auto now_tp = std::chrono::steady_clock::now();
+        if (liveWorkers() > 0)
+            lastLive_ = now_tp;
+        else if (assignmentGateOpen() && !complete) {
+            // Rejoin grace: once any worker has ever joined, demand
+            // continuous worker absence longer than the heartbeat
+            // timeout before abandoning the fleet — workers that
+            // lost their sockets to a chaos burst (or a coordinator
+            // restart) are usually mid-rejoin, not dead. A fleet
+            // nobody ever joined falls back as soon as the join
+            // deadline passes, as before.
+            const double dead_for =
+                std::chrono::duration<double>(now_tp - lastLive_)
+                    .count();
+            const double grace =
+                joined_ > 0 ? std::max(heartbeatTimeoutS_, 2.0)
+                            : 0.0;
+            if (dead_for >= grace) {
+                // No fleet left. The local parallelFor path
+                // re-executes every still-pending index
+                // deterministically; units already journaled just
+                // get rewritten with identical bytes.
+                warn("dist: no live workers for scope '", scope,
+                     "'; falling back to local execution");
+                emitEvent("dist", LogLevel::Warn,
+                          "scope '" + scope +
+                              "' falling back to local execution");
+                counter("dist.local_fallbacks").add();
+                if (span_start)
+                    traceSpanHook("dist.scope", span_start,
+                                  steadyNowNs(), "units",
+                                  static_cast<long long>(n),
+                                  "fallback", 1);
+                return false;
+            }
         }
 
         std::vector<pollfd> pfds;
@@ -593,7 +667,17 @@ Coordinator::runScope(
         }
         const int pr = ::poll(pfds.data(),
                               static_cast<nfds_t>(pfds.size()), 100);
-        if (pr > 0) {
+        if (pr < 0) {
+            // EINTR is routine (signal delivery); anything else is
+            // throttled so a persistent poll error — which returns
+            // immediately — cannot spin this loop hot.
+            if (errno != EINTR) {
+                warn("dist: poll failed (", std::strerror(errno),
+                     ")");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
+        } else if (pr > 0) {
             if (pfds[0].revents != 0)
                 acceptNew();
             for (size_t k = 1; k < pfds.size(); ++k)

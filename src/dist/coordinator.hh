@@ -97,6 +97,8 @@ class Coordinator
         bool left = false;    //!< sent ScopeLeave for it
         std::vector<uint64_t> assigned;
         std::chrono::steady_clock::time_point lastSeen;
+        uint64_t rxSeq = 0; //!< frames received (chaos substream)
+        uint64_t txSeq = 0; //!< frames sent (chaos substream)
     };
 
     /** Transient state of the scope currently being served. */
@@ -130,6 +132,14 @@ class Coordinator
     double heartbeatTimeoutS_ = 30.0;
     bool joinWaited_ = false;
     std::chrono::steady_clock::time_point joinDeadline_;
+    /**
+     * Last instant at least one live worker was connected — the
+     * local-fallback check requires continuous worker absence longer
+     * than the rejoin grace once any worker has ever joined, so a
+     * fleet whose members are all mid-rejoin (after a chaos burst or
+     * a coordinator restart) is not prematurely abandoned.
+     */
+    std::chrono::steady_clock::time_point lastLive_;
     uint32_t nextWorkerId_ = 1;
     uint32_t joined_ = 0;
     std::vector<Conn> conns_;

@@ -77,7 +77,11 @@ distScope(Journal &journal, const std::string &scope,
         return g_coordinator->runScope(journal, scope, config_h, n,
                                        pending, load_unit, save_unit);
     }
-    if (g_role == Role::Worker && g_worker && g_worker->connected())
+    // usable(), not connected(): a worker whose socket is currently
+    // down but whose rejoin budget is not exhausted reconnects at
+    // scope entry instead of silently running every later scope
+    // locally.
+    if (g_role == Role::Worker && g_worker && g_worker->usable())
         return g_worker->runScope(scope, config_h, n, load_unit,
                                   exec_unit, save_unit);
     return false;
@@ -140,8 +144,13 @@ maybeInitFromEnv()
     } else {
         const double io_s = env::doubleOr("PSCA_DIST_IO_TIMEOUT_S",
                                           600.0, 1.0, 86400.0);
+        const auto heartbeat_ms = static_cast<uint32_t>(
+            env::intOr("PSCA_DIST_HEARTBEAT_MS", 500, 10, 60000));
+        const int retries = static_cast<int>(
+            env::intOr("PSCA_DIST_RETRIES", 3, 0, 1000));
         g_worker = std::make_unique<Worker>(addr_spec, addr_file,
-                                            connect_s, io_s);
+                                            connect_s, io_s,
+                                            heartbeat_ms, retries);
         if (!g_worker->connected()) {
             g_worker.reset();
             return;

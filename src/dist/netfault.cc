@@ -1,0 +1,78 @@
+#include "dist/netfault.hh"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/fault.hh"
+
+namespace psca {
+namespace dist {
+
+bool
+sendFrameChaos(int fd, Msg type, const std::string &payload,
+               uint64_t key)
+{
+    static FaultSite &reset = FAULT_SITE("net.conn_reset");
+    static FaultSite &torn = FAULT_SITE("net.torn_send");
+    static FaultSite &corrupt = FAULT_SITE("net.frame_corrupt");
+
+    if (reset.enabled() && reset.fires(key)) {
+        // Kill the connection both ways so the peer's next recv sees
+        // it die too, the way a real RST would land.
+        ::shutdown(fd, SHUT_RDWR);
+        return false;
+    }
+    if (torn.enabled() && torn.fires(key)) {
+        const std::string frame = encodeFrame(type, payload);
+        // Cut somewhere strictly inside the frame so the peer reads
+        // a partial frame (EOF mid-read => Corrupt), never a clean
+        // boundary it could mistake for an orderly close.
+        const size_t cut =
+            1 + static_cast<size_t>(torn.draw(key, 0, frame.size() - 1));
+        (void)sendAll(fd, frame.data(), cut);
+        ::shutdown(fd, SHUT_WR);
+        return false;
+    }
+    if (corrupt.enabled() && corrupt.fires(key)) {
+        std::string frame = encodeFrame(type, payload);
+        const size_t pos =
+            static_cast<size_t>(corrupt.draw(key, 0, frame.size()));
+        frame[pos] = static_cast<char>(frame[pos] ^ 0x5a);
+        // The send itself "succeeds": only the peer's checksum knows.
+        return sendAll(fd, frame.data(), frame.size());
+    }
+    return sendFrame(fd, type, payload);
+}
+
+RecvStatus
+recvFrameChaos(int fd, Frame &out, uint64_t key, uint32_t max_payload)
+{
+    static FaultSite &stall = FAULT_SITE("net.recv_stall");
+    if (stall.enabled() && stall.fires(key)) {
+        const double ms = std::min(stall.param(20.0), 1000.0);
+        if (ms > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<long long>(ms * 1000.0)));
+    }
+    return recvFrame(fd, out, max_payload);
+}
+
+bool
+heartbeatDropped(uint64_t key)
+{
+    static FaultSite &drop = FAULT_SITE("net.heartbeat_drop");
+    return drop.enabled() && drop.fires(key);
+}
+
+bool
+duplicateResult(uint64_t key)
+{
+    static FaultSite &dup = FAULT_SITE("net.dup_result");
+    return dup.enabled() && dup.fires(key);
+}
+
+} // namespace dist
+} // namespace psca

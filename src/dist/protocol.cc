@@ -2,14 +2,23 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <vector>
 
+#include "common/env.hh"
 #include "common/serialize.hh"
 
 namespace psca {
 namespace dist {
+
+uint32_t
+maxFramePayloadCap()
+{
+    static const uint32_t cap = static_cast<uint32_t>(
+        env::intOr("PSCA_DIST_MAX_FRAME_MB", 64, 1, 256) << 20);
+    return cap;
+}
 
 const char *
 msgName(Msg m)
@@ -63,6 +72,8 @@ recvStatusName(RecvStatus s)
         return "timeout";
       case RecvStatus::Corrupt:
         return "corrupt";
+      case RecvStatus::Oversized:
+        return "oversized";
     }
     return "?";
 }
@@ -119,33 +130,39 @@ constexpr size_t kHeaderBytes =
 
 } // namespace
 
-bool
-sendFrame(int fd, Msg type, const std::string &payload)
+std::string
+encodeFrame(Msg type, const std::string &payload)
 {
     const uint8_t t = static_cast<uint8_t>(type);
     const uint32_t len = static_cast<uint32_t>(payload.size());
-    std::vector<uint8_t> frame;
+    std::string frame;
     frame.resize(kHeaderBytes + payload.size() + sizeof(uint64_t));
     size_t off = 0;
-    std::memcpy(frame.data() + off, &kFrameMagic,
-                sizeof(kFrameMagic));
+    std::memcpy(&frame[off], &kFrameMagic, sizeof(kFrameMagic));
     off += sizeof(kFrameMagic);
-    frame[off++] = t;
-    std::memcpy(frame.data() + off, &len, sizeof(len));
+    frame[off++] = static_cast<char>(t);
+    std::memcpy(&frame[off], &len, sizeof(len));
     off += sizeof(len);
-    std::memcpy(frame.data() + off, payload.data(), payload.size());
+    std::memcpy(&frame[off], payload.data(), payload.size());
     off += payload.size();
     // The checksum covers (type, len, payload) — everything but the
     // magic, mirroring the journal's per-frame trailer scheme.
     uint64_t sum = fnv1aUpdate(kFnv1aBasis, &t, sizeof(t));
     sum = fnv1aUpdate(sum, &len, sizeof(len));
     sum = fnv1aUpdate(sum, payload.data(), payload.size());
-    std::memcpy(frame.data() + off, &sum, sizeof(sum));
+    std::memcpy(&frame[off], &sum, sizeof(sum));
+    return frame;
+}
+
+bool
+sendFrame(int fd, Msg type, const std::string &payload)
+{
+    const std::string frame = encodeFrame(type, payload);
     return sendAll(fd, frame.data(), frame.size());
 }
 
 RecvStatus
-recvFrame(int fd, Frame &out)
+recvFrame(int fd, Frame &out, uint32_t max_payload)
 {
     uint8_t header[kHeaderBytes];
     RecvStatus st = recvExact(fd, header, sizeof(header), true);
@@ -158,12 +175,21 @@ recvFrame(int fd, Frame &out)
     std::memcpy(&len, header + sizeof(magic) + 1, sizeof(len));
     if (magic != kFrameMagic || len > kMaxFramePayload)
         return RecvStatus::Corrupt;
+    if (len > std::min(max_payload, kMaxFramePayload))
+        return RecvStatus::Oversized;
 
-    out.payload.resize(len);
-    if (len > 0) {
-        st = recvExact(fd, out.payload.data(), len, false);
+    // Grow the buffer only as bytes actually arrive: a well-formed
+    // header cannot reserve more memory than the peer truly sends.
+    constexpr size_t kRecvChunk = 1u << 20;
+    out.payload.clear();
+    size_t got = 0;
+    while (got < len) {
+        const size_t step = std::min(kRecvChunk, size_t(len) - got);
+        out.payload.resize(got + step);
+        st = recvExact(fd, &out.payload[got], step, false);
         if (st != RecvStatus::Ok)
             return st;
+        got += step;
     }
     uint64_t stored = 0;
     st = recvExact(fd, &stored, sizeof(stored), false);

@@ -35,7 +35,8 @@ namespace psca {
 namespace dist {
 
 constexpr uint32_t kFrameMagic = 0x54534450u; // "PDST"
-constexpr uint32_t kProtocolVersion = 1;
+/** v2: Hello carries the worker's previous id (rejoin accounting). */
+constexpr uint32_t kProtocolVersion = 2;
 
 /** Upper bound on one payload (a whole-trace record is ~MBs). */
 constexpr uint32_t kMaxFramePayload = 1u << 28;
@@ -76,21 +77,39 @@ struct Frame
 enum class RecvStatus
 {
     Ok,
-    Closed,  //!< orderly EOF at a frame boundary
-    Timeout, //!< SO_RCVTIMEO expired (peer stalled)
-    Corrupt, //!< bad magic/length/checksum or EOF mid-frame
+    Closed,    //!< orderly EOF at a frame boundary
+    Timeout,   //!< SO_RCVTIMEO expired (peer stalled)
+    Corrupt,   //!< bad magic/length/checksum or EOF mid-frame
+    Oversized, //!< well-formed header but len exceeds the caller's cap
 };
 
 const char *recvStatusName(RecvStatus s);
 
+/**
+ * The per-connection recv cap actually applied by the fleet:
+ * PSCA_DIST_MAX_FRAME_MB (default 64, range 1-256) megabytes. The
+ * protocol-level kMaxFramePayload stays the absolute ceiling.
+ */
+uint32_t maxFramePayloadCap();
+
 /** Loop send() over the whole buffer (MSG_NOSIGNAL). */
 bool sendAll(int fd, const void *data, size_t n);
+
+/** Encode one frame into its exact wire image (header + checksum). */
+std::string encodeFrame(Msg type, const std::string &payload);
 
 /** Encode and send one frame. False when the peer went away. */
 bool sendFrame(int fd, Msg type, const std::string &payload);
 
-/** Receive and verify one frame (blocking, honors SO_RCVTIMEO). */
-RecvStatus recvFrame(int fd, Frame &out);
+/**
+ * Receive and verify one frame (blocking, honors SO_RCVTIMEO).
+ *
+ * The payload buffer grows in bounded chunks as bytes actually arrive,
+ * so a lying length header cannot force a huge up-front allocation; a
+ * header announcing more than max_payload bytes yields Oversized
+ * without reading the body. max_payload is clamped to kMaxFramePayload.
+ */
+RecvStatus recvFrame(int fd, Frame &out, uint32_t max_payload = kMaxFramePayload);
 
 } // namespace dist
 } // namespace psca

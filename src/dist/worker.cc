@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/serialize.hh"
+#include "dist/netfault.hh"
 #include "obs/snapshot.hh"
 #include "obs/stats.hh"
 
@@ -35,13 +36,17 @@ counter(const char *name)
 }
 
 void
-setRecvTimeout(int fd, double seconds)
+setSockTimeouts(int fd, double seconds)
 {
     timeval tv = {};
     tv.tv_sec = static_cast<time_t>(seconds);
     tv.tv_usec = static_cast<suseconds_t>(
         (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Bound sends as well: a coordinator that stops draining (stuck
+    // on another connection, mid-restart) must surface as a send
+    // failure the rejoin path can handle, not an indefinite block.
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 /** One connect() attempt to "host:port"; -1 on failure. */
@@ -87,12 +92,43 @@ readAddrFile(const std::string &path)
     return line;
 }
 
+/**
+ * Per-message-kind lanes for the wire fault keys: each (scope, lane,
+ * unit) triple is an independent substream, and the caller mixes in
+ * the connection generation so retries after a rejoin draw fresh.
+ */
+enum : uint64_t
+{
+    kLaneEnter = 1,
+    kLaneResult = 2,
+    kLaneFetch = 3,
+    kLaneHeartbeat = 4,
+    kLaneLeave = 5,
+};
+
 } // namespace
 
 Worker::Worker(const std::string &addr_spec,
                const std::string &addr_file,
-               double connect_timeout_s, double io_timeout_s)
-    : ioTimeoutS_(io_timeout_s)
+               double connect_timeout_s, double io_timeout_s,
+               uint32_t heartbeat_ms, int max_rejoins)
+    : addrSpec_(addr_spec), addrFile_(addr_file),
+      connectTimeoutS_(connect_timeout_s), ioTimeoutS_(io_timeout_s),
+      heartbeatMs_(heartbeat_ms), maxRejoins_(max_rejoins)
+{
+    if (!connectAndHello(connect_timeout_s))
+        warn("dist: cannot reach coordinator (",
+             addr_spec == "auto" ? addr_file : addr_spec, ") within ",
+             connect_timeout_s, "s; running locally");
+}
+
+Worker::~Worker()
+{
+    shutdown();
+}
+
+bool
+Worker::connectAndHello(double budget_s)
 {
     // Bounded reconnect with the journal's deterministic backoff:
     // the coordinator may still be binding (or, under "auto", not
@@ -100,62 +136,119 @@ Worker::Worker(const std::string &addr_spec,
     const auto deadline = std::chrono::steady_clock::now() +
         std::chrono::duration_cast<
             std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(connect_timeout_s));
-    const uint64_t backoff_key = Journal::scopeHash("dist.connect");
+            std::chrono::duration<double>(budget_s));
+    const uint64_t backoff_key =
+        mixSeeds(Journal::scopeHash("dist.connect"), generation_);
     int fd = -1;
     for (int attempt = 0;; ++attempt) {
-        std::string spec = addr_spec;
+        std::string spec = addrSpec_;
         if (spec == "auto")
-            spec = readAddrFile(addr_file);
+            spec = readAddrFile(addrFile_);
         if (!spec.empty())
             fd = tryConnect(spec);
         if (fd >= 0)
             break;
-        if (std::chrono::steady_clock::now() >= deadline) {
-            warn("dist: cannot reach coordinator (",
-                 addr_spec == "auto" ? addr_file : addr_spec,
-                 ") within ", connect_timeout_s,
-                 "s; running locally");
-            return;
-        }
+        if (stopRequested() ||
+            std::chrono::steady_clock::now() >= deadline)
+            return false;
         retryBackoffSleep(backoff_key, std::min(attempt, 8));
     }
 
     // Welcome may take a while: the coordinator only accepts inside
-    // its first distributed scope.
-    setRecvTimeout(fd, std::max(connect_timeout_s, ioTimeoutS_));
+    // its first distributed scope. The handshake itself is never
+    // fault-injected — chaos targets the steady-state wire, so a
+    // seeded schedule can kill a delivery but not the recovery.
+    setSockTimeouts(fd, std::max(budget_s, ioTimeoutS_));
     BinaryWriter hello;
     hello.put<uint32_t>(kProtocolVersion);
     hello.put<uint32_t>(static_cast<uint32_t>(
         ThreadPool::instance().numThreads()));
+    hello.put<uint32_t>(id_); // previous id; 0 on first join
     Frame reply;
     if (!sendFrame(fd, Msg::Hello, hello.takeBuffer()) ||
-        recvFrame(fd, reply) != RecvStatus::Ok ||
-        reply.type != Msg::Welcome)
+        recvFrame(fd, reply) != RecvStatus::Ok)
     {
-        warn("dist: coordinator handshake failed; running locally");
         ::close(fd);
-        return;
+        return false;
+    }
+    if (reply.type == Msg::Shutdown) {
+        sawShutdown_ = true;
+        ::close(fd);
+        return false;
+    }
+    if (reply.type != Msg::Welcome) {
+        ::close(fd);
+        return false;
     }
     BinaryReader in(reply.payload.data(), reply.payload.size());
-    id_ = in.get<uint32_t>();
+    const auto assigned = in.get<uint32_t>();
     if (!in.good()) {
         ::close(fd);
-        return;
+        return false;
     }
-    setRecvTimeout(fd, ioTimeoutS_);
+    setSockTimeouts(fd, ioTimeoutS_);
+    const bool first = generation_ == 0;
+    id_ = assigned;
     fd_ = fd;
+    ++generation_;
     obs::StatRegistry::instance()
         .gauge("dist.worker_id")
         .set(static_cast<double>(id_));
-    inform("dist: joined fleet as worker ", id_);
+    inform("dist: ", first ? "joined" : "rejoined",
+           " fleet as worker ", id_);
     emitEvent("dist", LogLevel::Info,
-              "joined fleet as worker " + std::to_string(id_));
+              std::string(first ? "joined" : "rejoined") +
+                  " fleet as worker " + std::to_string(id_));
+    return true;
 }
 
-Worker::~Worker()
+bool
+Worker::rejoin(const char *why)
 {
-    shutdown();
+    closeFd();
+    if (permanentlyLocal_)
+        return false;
+    if (sawShutdown_)
+        // Orderly end of the campaign, not a fault: finish locally
+        // without burning the retry budget or counting a fallback.
+        return false;
+    warn("dist: connection to coordinator lost (", why,
+         "); attempting to rejoin");
+    emitEvent("dist", LogLevel::Warn,
+              std::string("coordinator connection lost (") + why +
+                  "); attempting to rejoin");
+    const uint64_t backoff_key = Journal::scopeHash("dist.rejoin");
+    for (int attempt = 0; attempt < maxRejoins_; ++attempt) {
+        retryBackoffSleep(mixSeeds(backoff_key, generation_),
+                          std::min(attempt, 8));
+        if (stopRequested())
+            return false;
+        if (addrSpec_ == "auto" && readAddrFile(addrFile_).empty()) {
+            // The address file is gone: the coordinator withdrew it
+            // during orderly shutdown (a SIGKILL leaves it behind
+            // for the supervisor's replacement). The campaign is
+            // over — same as receiving Shutdown, and no fallback:
+            // remaining scopes legitimately run locally.
+            inform("dist: coordinator address withdrawn; fleet is "
+                   "done, continuing locally");
+            sawShutdown_ = true;
+            return false;
+        }
+        if (connectAndHello(connectTimeoutS_)) {
+            counter("dist.rejoins").add();
+            return true;
+        }
+        if (sawShutdown_)
+            return false;
+    }
+    permanentlyLocal_ = true;
+    counter("dist.local_fallbacks").add();
+    warn("dist: could not rejoin within ", maxRejoins_,
+         " attempts; degrading to local execution");
+    emitEvent("dist", LogLevel::Warn,
+              "rejoin budget exhausted; degrading to local "
+              "execution");
+    return false;
 }
 
 void
@@ -164,44 +257,62 @@ Worker::shutdown()
     if (fd_ < 0)
         return;
     (void)sendFrame(fd_, Msg::Bye, "");
+    closeFd();
+}
+
+void
+Worker::closeFd()
+{
+    if (fd_ < 0)
+        return;
     ::close(fd_);
     fd_ = -1;
 }
 
 void
-Worker::disconnect(const char *why)
+Worker::drainShutdown()
 {
+    // A failed send often races an orderly coordinator shutdown: the
+    // Shutdown frame may already sit in our receive buffer. Peek for
+    // it so we do not burn the rejoin budget on a fleet that is done.
     if (fd_ < 0)
         return;
-    warn("dist: connection to coordinator lost (", why,
-         "); degrading to local execution");
-    emitEvent("dist", LogLevel::Warn,
-              std::string("coordinator connection lost (") + why +
-                  "); degrading to local execution");
-    ::close(fd_);
-    fd_ = -1;
+    setSockTimeouts(fd_, 0.05);
+    Frame f;
+    if (recvFrame(fd_, f) == RecvStatus::Ok &&
+        f.type == Msg::Shutdown)
+        sawShutdown_ = true;
 }
 
 bool
 Worker::transact(const char *what, Msg type,
-                 const std::string &payload, Frame &out)
+                 const std::string &payload, Frame &out,
+                 uint64_t fault_key)
 {
-    counter("dist.bytes_sent").add(payload.size() + 17);
-    if (!sendFrame(fd_, type, payload)) {
-        disconnect(what);
+    if (fd_ < 0) {
+        lastWhy_ = what;
         return false;
     }
-    const RecvStatus st = recvFrame(fd_, out);
+    const uint64_t wire_key = mixSeeds(fault_key, generation_);
+    counter("dist.bytes_sent").add(payload.size() + 17);
+    if (!sendFrameChaos(fd_, type, payload, wire_key)) {
+        drainShutdown();
+        closeFd();
+        lastWhy_ = what;
+        return false;
+    }
+    const RecvStatus st =
+        recvFrameChaos(fd_, out, wire_key, maxFramePayloadCap());
     if (st != RecvStatus::Ok) {
-        disconnect(recvStatusName(st));
+        closeFd();
+        lastWhy_ = recvStatusName(st);
         return false;
     }
     counter("dist.bytes_received").add(out.payload.size() + 17);
     if (out.type == Msg::Shutdown) {
-        // The coordinator is done (or going down). Distribution is
-        // an accelerator, never a correctness dependency: finish the
-        // rest of the campaign locally.
-        disconnect("coordinator shut down");
+        sawShutdown_ = true;
+        closeFd();
+        lastWhy_ = "coordinator shut down";
         return false;
     }
     return true;
@@ -214,9 +325,10 @@ Worker::runScope(
     const std::function<void(size_t)> &exec_unit,
     const std::function<void(size_t, BinaryWriter &)> &save_unit)
 {
-    if (fd_ < 0)
+    if (!usable())
         return false;
     const uint64_t scope_h = Journal::scopeHash(scope);
+    const uint64_t scope_key = mixSeeds(scope_h, config_h);
     counter("dist.scopes_joined").add();
 
     auto ident = [&](BinaryWriter &w) {
@@ -226,12 +338,24 @@ Worker::runScope(
 
     std::set<uint64_t> have; // slots this worker has filled
 
+    enum class Batch
+    {
+        Done,
+        Lost, // connection died mid-batch; rewind to ScopeEnter
+    };
+
     /**
      * Execute one assigned batch on the thread pool, streaming each
      * serialized result back in completion order while the batch
      * runs (the protocol thread is this one; pool threads only
-     * compute and enqueue). Heartbeats cover gaps longer than 500 ms
-     * so a slow unit cannot look like a dead worker.
+     * compute and enqueue). Heartbeats cover gaps longer than
+     * heartbeatMs_ so a slow unit cannot look like a dead worker.
+     *
+     * On connection loss the batch keeps computing to completion —
+     * results that could not be delivered are simply dropped; after
+     * the rejoin the coordinator either already journaled them
+     * (dedupe by unit index) or reassigns them, and re-executing a
+     * unit is idempotent because unit bodies are deterministic.
      */
     auto run_batch = [&](const std::vector<uint64_t> &units) {
         struct Ready
@@ -304,7 +428,7 @@ Worker::runScope(
             }
         });
 
-        bool ok = true;
+        bool conn_ok = true;
         std::exception_ptr send_err;
         for (;;) {
             Ready r;
@@ -312,8 +436,9 @@ Worker::runScope(
             {
                 std::unique_lock<std::mutex> lock(mu);
                 if (ready.empty() && remaining != 0)
-                    cv.wait_for(lock,
-                                std::chrono::milliseconds(500));
+                    cv.wait_for(
+                        lock,
+                        std::chrono::milliseconds(heartbeatMs_));
                 if (!ready.empty()) {
                     r = std::move(ready.front());
                     ready.pop_front();
@@ -322,15 +447,24 @@ Worker::runScope(
                 } else {
                     // Batch still computing; prove liveness.
                     lock.unlock();
-                    counter("dist.bytes_sent").add(17);
-                    if (fd_ >= 0)
-                        (void)sendFrame(fd_, Msg::Heartbeat, "");
+                    const uint64_t hb_key = mixSeeds(
+                        mixSeeds(mixSeeds(scope_key,
+                                          kLaneHeartbeat),
+                                 heartbeatSeq_++),
+                        generation_);
+                    if (fd_ >= 0 && conn_ok &&
+                        !heartbeatDropped(hb_key))
+                    {
+                        counter("dist.bytes_sent").add(17);
+                        (void)sendFrameChaos(fd_, Msg::Heartbeat,
+                                             "", hb_key);
+                    }
                     continue;
                 }
             }
             if (drained)
                 break;
-            if (fd_ < 0 || !ok)
+            if (fd_ < 0 || !conn_ok)
                 continue; // keep draining so compute can finish
             try {
                 BinaryWriter w;
@@ -340,12 +474,32 @@ Worker::runScope(
                                             r.bytes.data(),
                                             r.bytes.size()));
                 w.putString(r.bytes);
-                Frame reply;
-                if (!transact("result", Msg::Result, w.takeBuffer(),
-                              reply) ||
-                    reply.type != Msg::Ack)
-                {
-                    ok = false;
+                const std::string payload = w.takeBuffer();
+                const uint64_t result_key = mixSeeds(
+                    mixSeeds(scope_key, kLaneResult), r.unit);
+                // net.dup_result: deliver the same Result twice —
+                // the coordinator must dedupe by unit index.
+                const int copies =
+                    duplicateResult(mixSeeds(result_key,
+                                             generation_))
+                        ? 2
+                        : 1;
+                bool acked = true;
+                for (int c = 0; c < copies && acked; ++c) {
+                    Frame reply;
+                    acked = transact("result", Msg::Result, payload,
+                                     reply,
+                                     mixSeeds(result_key,
+                                              static_cast<uint64_t>(
+                                                  c))) &&
+                        reply.type == Msg::Ack;
+                }
+                if (!acked) {
+                    if (fd_ >= 0) {
+                        closeFd();
+                        lastWhy_ = "unexpected result reply";
+                    }
+                    conn_ok = false;
                     continue;
                 }
                 have.insert(r.unit);
@@ -354,7 +508,7 @@ Worker::runScope(
                 // Shutdown mid-batch: keep draining so the compute
                 // thread can finish, then propagate.
                 send_err = std::current_exception();
-                ok = false;
+                conn_ok = false;
             }
         }
         compute.join();
@@ -364,87 +518,135 @@ Worker::runScope(
             std::rethrow_exception(send_err);
         if (interrupted.load(std::memory_order_relaxed))
             throw RunInterrupted("worker interrupted mid-batch");
-        return ok && fd_ >= 0;
+        return conn_ok && fd_ >= 0 ? Batch::Done : Batch::Lost;
+    };
+
+    enum class Step
+    {
+        Done,
+        Lost,  // connection died; rejoin and rewind to ScopeEnter
+        Abort, // coordinator declined; run the scope locally
     };
 
     // The assign loop. ScopeEnter doubles as the poll message: it is
     // idempotent on the coordinator, and — unlike a bare Poll — a
-    // coordinator that has not reached this scope yet can park us
-    // with Wait until its own pipeline arrives here, keeping a fleet
-    // whose members drift a scope apart in lockstep instead of
-    // diverging.
-    for (;;) {
-        BinaryWriter w;
-        ident(w);
-        w.put<uint64_t>(n);
-        w.putString(scope);
-        w.put<uint32_t>(static_cast<uint32_t>(
-            ThreadPool::instance().numThreads()));
-        Frame reply;
-        if (!transact("enter", Msg::ScopeEnter, w.takeBuffer(),
-                      reply))
-            return false;
-        if (reply.type == Msg::Assign) {
-            BinaryReader in(reply.payload.data(),
-                            reply.payload.size());
-            const std::vector<uint64_t> units =
-                in.getVector<uint64_t>();
-            if (!in.good() || !run_batch(units))
-                return false;
-        } else if (reply.type == Msg::Wait) {
-            BinaryReader in(reply.payload.data(),
-                            reply.payload.size());
-            const auto ms = in.get<uint32_t>();
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                std::min<uint32_t>(ms, 1000)));
-        } else if (reply.type == Msg::ScopeDone) {
-            break;
-        } else if (reply.type == Msg::Error) {
-            BinaryReader in(reply.payload.data(),
-                            reply.payload.size());
-            warn("dist: coordinator declined scope '", scope, "' (",
-                 in.getString(), "); running it locally");
-            return false;
-        } else {
-            disconnect("unexpected reply");
-            return false;
+    // coordinator that has not reached this scope yet (a restarted
+    // one replaying its journal, say) can park us with Wait until
+    // its own pipeline arrives here, keeping a fleet whose members
+    // drift a scope apart in lockstep instead of diverging.
+    auto enter_phase = [&]() -> Step {
+        for (;;) {
+            BinaryWriter w;
+            ident(w);
+            w.put<uint64_t>(n);
+            w.putString(scope);
+            w.put<uint32_t>(static_cast<uint32_t>(
+                ThreadPool::instance().numThreads()));
+            Frame reply;
+            if (!transact("enter", Msg::ScopeEnter, w.takeBuffer(),
+                          reply, mixSeeds(scope_key, kLaneEnter)))
+                return Step::Lost;
+            if (reply.type == Msg::Assign) {
+                BinaryReader in(reply.payload.data(),
+                                reply.payload.size());
+                const std::vector<uint64_t> units =
+                    in.getVector<uint64_t>();
+                if (!in.good()) {
+                    closeFd();
+                    lastWhy_ = "bad assign payload";
+                    return Step::Lost;
+                }
+                if (run_batch(units) == Batch::Lost)
+                    return Step::Lost;
+            } else if (reply.type == Msg::Wait) {
+                BinaryReader in(reply.payload.data(),
+                                reply.payload.size());
+                const auto ms = in.get<uint32_t>();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        std::min<uint32_t>(ms, 1000)));
+            } else if (reply.type == Msg::ScopeDone) {
+                return Step::Done;
+            } else if (reply.type == Msg::Error) {
+                BinaryReader in(reply.payload.data(),
+                                reply.payload.size());
+                warn("dist: coordinator declined scope '", scope,
+                     "' (", in.getString(), "); running it locally");
+                return Step::Abort;
+            } else {
+                closeFd();
+                lastWhy_ = "unexpected reply";
+                return Step::Lost;
+            }
         }
-    }
+    };
 
     // Fetch every unit a peer computed (or the journal already
     // held), in index order, so this process's in-memory state is
     // identical to the coordinator's.
-    for (uint64_t i = 0; i < n; ++i) {
-        if (have.count(i) != 0)
+    auto fetch_phase = [&]() -> Step {
+        for (uint64_t i = 0; i < n; ++i) {
+            if (have.count(i) != 0)
+                continue;
+            BinaryWriter w;
+            ident(w);
+            w.put<uint64_t>(i);
+            Frame reply;
+            if (!transact("fetch", Msg::Fetch, w.takeBuffer(), reply,
+                          mixSeeds(mixSeeds(scope_key, kLaneFetch),
+                                   i)))
+                return Step::Lost;
+            if (reply.type != Msg::Data) {
+                warn("dist: unit ", i, " of scope '", scope,
+                     "' not fetchable; recomputing scope locally");
+                return Step::Abort;
+            }
+            BinaryReader in(reply.payload.data(),
+                            reply.payload.size());
+            const auto unit = in.get<uint64_t>();
+            const auto sum = in.get<uint64_t>();
+            const std::string bytes = in.getString();
+            if (!in.good() || unit != i ||
+                fnv1aUpdate(kFnv1aBasis, bytes.data(),
+                            bytes.size()) != sum)
+            {
+                closeFd();
+                warn("dist: unit ", i, " of scope '", scope,
+                     "' fetched corrupt; recomputing scope locally");
+                return Step::Abort;
+            }
+            BinaryReader payload(bytes.data(), bytes.size());
+            if (!load_unit(static_cast<size_t>(i), payload)) {
+                closeFd();
+                warn("dist: unit ", i, " of scope '", scope,
+                     "' failed to deserialize; recomputing scope "
+                     "locally");
+                return Step::Abort;
+            }
+            have.insert(i);
+            counter("dist.units_fetched").add();
+        }
+        return Step::Done;
+    };
+
+    // Scope participation: any connection loss rejoins and rewinds
+    // to ScopeEnter. Work already done survives in `have` (executed
+    // and acked, or fetched and loaded), so a rewind never repeats
+    // delivered units, and re-delivery of undelivered ones is
+    // idempotent on the coordinator.
+    for (;;) {
+        if (fd_ < 0 &&
+            !rejoin(lastWhy_.empty() ? "reconnect at scope entry"
+                                     : lastWhy_.c_str()))
+            return false;
+        Step st = enter_phase();
+        if (st == Step::Done)
+            st = fetch_phase();
+        if (st == Step::Lost)
             continue;
-        BinaryWriter w;
-        ident(w);
-        w.put<uint64_t>(i);
-        Frame reply;
-        if (!transact("fetch", Msg::Fetch, w.takeBuffer(), reply))
+        if (st == Step::Abort)
             return false;
-        if (reply.type != Msg::Data) {
-            warn("dist: unit ", i, " of scope '", scope,
-                 "' not fetchable; recomputing scope locally");
-            return false;
-        }
-        BinaryReader in(reply.payload.data(), reply.payload.size());
-        const auto unit = in.get<uint64_t>();
-        const auto sum = in.get<uint64_t>();
-        const std::string bytes = in.getString();
-        if (!in.good() || unit != i ||
-            fnv1aUpdate(kFnv1aBasis, bytes.data(), bytes.size()) !=
-                sum)
-        {
-            disconnect("corrupt fetched unit");
-            return false;
-        }
-        BinaryReader payload(bytes.data(), bytes.size());
-        if (!load_unit(static_cast<size_t>(i), payload)) {
-            disconnect("fetched unit failed to deserialize");
-            return false;
-        }
-        counter("dist.units_fetched").add();
+        break;
     }
 
     // Leave the scope, shipping a cumulative registry snapshot for
@@ -457,7 +659,8 @@ Worker::runScope(
     ident(w);
     w.putString(sw.takeBuffer());
     Frame reply;
-    if (!transact("leave", Msg::ScopeLeave, w.takeBuffer(), reply))
+    if (!transact("leave", Msg::ScopeLeave, w.takeBuffer(), reply,
+                  mixSeeds(scope_key, kLaneLeave)))
         return true; // slots are all filled; loss only affects stats
     return true;
 }

@@ -9,11 +9,22 @@
  * every other process in the fleet.
  *
  * Liveness: while a batch computes on the thread pool, the worker's
- * protocol thread sends one-way Heartbeat frames, so a coordinator
- * never mistakes a long unit for a dead worker. If the coordinator
- * goes away (or replies Error), the worker degrades to computing the
- * scope locally — distribution is an accelerator, not a correctness
- * dependency.
+ * protocol thread sends one-way Heartbeat frames (every
+ * PSCA_DIST_HEARTBEAT_MS), so a coordinator never mistakes a long
+ * unit for a dead worker.
+ *
+ * Failure semantics (DESIGN.md §13): on any socket error — including
+ * a coordinator crash — the worker does not give up; it reconnects
+ * with the deterministic journal backoff, re-Hellos carrying its
+ * previous id, and rewinds to ScopeEnter, which is idempotent on the
+ * coordinator and catches the worker up through the served-scope
+ * history. Only after PSCA_DIST_RETRIES consecutive failed rejoin
+ * attempts (or an orderly coordinator Shutdown) does the worker
+ * degrade to computing scopes locally — distribution is an
+ * accelerator, not a correctness dependency. The handshake itself is
+ * never fault-injected; the net.* chaos sites (dist/netfault.hh)
+ * target the steady-state wire, so a seeded chaos schedule can kill
+ * deliveries but never the recovery from them.
  */
 
 #ifndef PSCA_DIST_WORKER_HH
@@ -43,13 +54,23 @@ class Worker
      * budget ran out — the campaign then runs locally.
      */
     Worker(const std::string &addr_spec, const std::string &addr_file,
-           double connect_timeout_s, double io_timeout_s);
+           double connect_timeout_s, double io_timeout_s,
+           uint32_t heartbeat_ms, int max_rejoins);
     ~Worker();
 
     Worker(const Worker &) = delete;
     Worker &operator=(const Worker &) = delete;
 
     bool connected() const { return fd_ >= 0; }
+
+    /**
+     * False once the worker has permanently degraded to local
+     * execution (rejoin budget exhausted or coordinator Shutdown).
+     * While true, runScope() may reconnect even if the socket is
+     * currently down.
+     */
+    bool usable() const { return !permanentlyLocal_ && !sawShutdown_; }
+
     uint32_t id() const { return id_; }
 
     /**
@@ -67,14 +88,42 @@ class Worker
     void shutdown();
 
   private:
+    /** Connect + Hello/Welcome within @p budget_s. */
+    bool connectAndHello(double budget_s);
+
+    /**
+     * Reconnect after a lost connection: up to maxRejoins_ attempts
+     * with deterministic backoff, counting dist.rejoins on success.
+     * On exhaustion (or after an orderly coordinator Shutdown) the
+     * worker flips to permanent local execution, counting
+     * dist.local_fallbacks.
+     */
+    bool rejoin(const char *why);
+
     /** One request-reply exchange; false closes the connection. */
     bool transact(const char *what, Msg type,
-                  const std::string &payload, Frame &out);
-    void disconnect(const char *why);
+                  const std::string &payload, Frame &out,
+                  uint64_t fault_key);
+
+    /** Peek for a queued Shutdown frame after a failed send. */
+    void drainShutdown();
+    void closeFd();
+
+    std::string addrSpec_;
+    std::string addrFile_;
+    double connectTimeoutS_ = 60.0;
+    double ioTimeoutS_ = 600.0;
+    uint32_t heartbeatMs_ = 500;
+    int maxRejoins_ = 3;
 
     int fd_ = -1;
     uint32_t id_ = 0;
-    double ioTimeoutS_ = 600.0;
+    /** Successful connects; mixed into every wire fault key. */
+    uint64_t generation_ = 0;
+    uint64_t heartbeatSeq_ = 0;
+    bool sawShutdown_ = false;
+    bool permanentlyLocal_ = false;
+    std::string lastWhy_;
 };
 
 } // namespace dist

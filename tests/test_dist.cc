@@ -1,11 +1,16 @@
 /**
  * @file
  * Distribution-layer tests (DESIGN.md §13): protocol frame
- * round-trip and corruption rejection over a socketpair, fleet
- * byte-identity (a coordinator + 4 workers produce the same corpus
- * cache and result artifact as a single process), and worker-loss
+ * round-trip and corruption/oversize rejection over a socketpair,
+ * fleet byte-identity (a coordinator + 4 workers produce the same
+ * corpus cache and result artifact as a single process), worker-loss
  * recovery (SIGKILL one worker mid-campaign; the campaign completes
- * with units reassigned and artifacts still byte-identical).
+ * with units reassigned and artifacts still byte-identical),
+ * coordinator crash-resume (SIGKILL the coordinator mid-scope; a
+ * replacement replays the journal, the workers rejoin, artifacts
+ * still byte-identical), and duplicate-Result idempotency
+ * (net.dup_result at rate 1 delivers every Result twice; the
+ * coordinator dedupes by unit index).
  *
  * Same fork discipline as test_runner.cc: the parent process never
  * touches the ThreadPool, SimMemo, or Journal singletons — every
@@ -118,6 +123,28 @@ TEST(DistProtocol, CorruptionRejected)
     }
 }
 
+TEST(DistProtocol, OversizedFrameRejected)
+{
+    // A header claiming a payload larger than the receiver's cap is
+    // rejected from the header alone — the receiver never tries to
+    // allocate or read the body, so a lying (or hostile) peer cannot
+    // force a giant allocation.
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const uint8_t t = static_cast<uint8_t>(Msg::Result);
+    const uint32_t len = 2u << 20;
+    std::vector<uint8_t> header(9);
+    std::memcpy(header.data(), &kFrameMagic, 4);
+    header[4] = t;
+    std::memcpy(header.data() + 5, &len, 4);
+    ASSERT_TRUE(sendAll(fds[0], header.data(), header.size()));
+    Frame f;
+    EXPECT_EQ(recvFrame(fds[1], f, /*max_payload=*/1u << 20),
+              RecvStatus::Oversized);
+    close(fds[0]);
+    close(fds[1]);
+}
+
 TEST(DistProtocol, TruncationRejected)
 {
     // EOF mid-frame (a worker died mid-send) is Corrupt, not Closed.
@@ -227,13 +254,17 @@ childPipeline()
  */
 pid_t
 forkFleetChild(const char *role, const std::string &dir, int workers,
-               int worker_index)
+               int worker_index,
+               const std::vector<std::pair<std::string, std::string>>
+                   &extra_env = {})
 {
     std::fflush(nullptr);
     const pid_t pid = fork();
     if (pid != 0)
         return pid;
     setenv("PSCA_DIST_ROLE", role, 1);
+    for (const auto &[k, v] : extra_env)
+        setenv(k.c_str(), v.c_str(), 1);
     if (std::strcmp(role, "coordinator") == 0) {
         const std::string n = std::to_string(workers);
         setenv("PSCA_DIST_WORKERS", n.c_str(), 1);
@@ -392,6 +423,119 @@ TEST(DistFleet, WorkerKilledMidCampaignIsReassigned)
     const std::string report = dir + "/dist_test_report.json";
     EXPECT_GE(reportValue(report, "dist.workers_lost"), 1.0);
     EXPECT_GE(reportValue(report, "dist.units_reassigned"), 1.0);
+}
+
+TEST(DistFleet, CoordinatorKilledAndRestartedMidScope)
+{
+    setenv("PSCA_THREADS", "2", 1);
+
+    const std::string ref_dir = scratchDir("crash_ref");
+    setenv("PSCA_CACHE_DIR", ref_dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", ref_dir.c_str(), 1);
+    ASSERT_EQ(runLocalToCompletion(), 0);
+
+    const std::string dir = scratchDir("crash");
+    setenv("PSCA_CACHE_DIR", dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", dir.c_str(), 1);
+    constexpr int kWorkers = 2;
+    // Workers get a deep rejoin budget so none degrades to local
+    // execution while the replacement coordinator boots.
+    const std::vector<std::pair<std::string, std::string>> wenv = {
+        {"PSCA_DIST_RETRIES", "10"}};
+    pid_t coord = forkFleetChild("coordinator", dir, kWorkers, 0);
+    std::vector<pid_t> workers;
+    for (int i = 1; i <= kWorkers; ++i)
+        workers.push_back(
+            forkFleetChild("worker", dir, kWorkers, i, wenv));
+
+    // SIGKILL the coordinator once the first unit result is
+    // journaled — mid-scope by construction. The journal survives,
+    // the address file survives (only an orderly shutdown withdraws
+    // it), so a replacement resumes the scope and the workers rejoin
+    // through the republished address.
+    const std::string journal_path = dir + "/journal.psj";
+    bool killed = false;
+    for (int spins = 0; spins < 120000; ++spins) {
+        if (Journal::countEntries(journal_path) >= 1) {
+            kill(coord, SIGKILL);
+            killed = true;
+            break;
+        }
+        int status = 0;
+        if (waitpid(coord, &status, WNOHANG) == coord) {
+            ADD_FAILURE() << "coordinator exited before first result";
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(killed);
+    int status = 0;
+    ASSERT_EQ(waitpid(coord, &status, 0), coord);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    coord = forkFleetChild("coordinator", dir, kWorkers, 0);
+    ASSERT_EQ(waitpid(coord, &status, 0), coord);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    for (pid_t w : workers) {
+        ASSERT_EQ(waitpid(w, &status, 0), w);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0) << "worker " << w;
+    }
+
+    expectArtifactsIdentical(dir, ref_dir);
+
+    // The replacement's report is the one on disk: it must have seen
+    // the workers come back (Hello with a previous id) and no worker
+    // may have fallen back to local execution.
+    const std::string report = dir + "/dist_test_report.json";
+    EXPECT_GE(reportValue(report, "dist.rejoins"), 1.0) << report;
+    for (int i = 1; i <= kWorkers; ++i)
+        EXPECT_EQ(reportValue(dir + "/w" + std::to_string(i) +
+                                  "/dist_test_report.json",
+                              "dist.local_fallbacks"),
+                  -1.0)
+            << "worker " << i << " degraded to local execution";
+}
+
+TEST(DistFleet, DuplicateResultsAreIdempotent)
+{
+    setenv("PSCA_THREADS", "2", 1);
+
+    const std::string ref_dir = scratchDir("dup_ref");
+    setenv("PSCA_CACHE_DIR", ref_dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", ref_dir.c_str(), 1);
+    ASSERT_EQ(runLocalToCompletion(), 0);
+
+    const std::string dir = scratchDir("dup");
+    setenv("PSCA_CACHE_DIR", dir.c_str(), 1);
+    setenv("PSCA_REPORT_DIR", dir.c_str(), 1);
+    constexpr int kWorkers = 2;
+    // Every Result is delivered twice (rate 1): the coordinator must
+    // Ack both copies but journal the unit once, first-write-wins.
+    const std::vector<std::pair<std::string, std::string>> wenv = {
+        {"PSCA_FAULTS", "net.dup_result:1"}};
+    const pid_t coord = forkFleetChild("coordinator", dir, kWorkers, 0);
+    std::vector<pid_t> workers;
+    for (int i = 1; i <= kWorkers; ++i)
+        workers.push_back(
+            forkFleetChild("worker", dir, kWorkers, i, wenv));
+
+    int status = 0;
+    ASSERT_EQ(waitpid(coord, &status, 0), coord);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    for (pid_t w : workers) {
+        ASSERT_EQ(waitpid(w, &status, 0), w);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0) << "worker " << w;
+    }
+
+    expectArtifactsIdentical(dir, ref_dir);
+
+    const std::string report = dir + "/dist_test_report.json";
+    EXPECT_GE(reportValue(report, "dist.duplicate_results"), 1.0)
+        << report;
 }
 
 } // namespace

@@ -36,6 +36,7 @@ DEFAULT_IGNORE = [
     "events.",   # structured event-log accounting
     "http.",     # live-endpoint request counts
     "dist.",     # fleet wire/assignment accounting (varies with -N)
+    "chaos.",    # chaos-soak schedule/recovery accounting
 ]
 
 
