@@ -55,6 +55,23 @@
  *   net.dup_result            a worker delivers one Result frame
  *                             twice (the coordinator dedupes by unit
  *                             index, first write wins)
+ *   serve.retrain_fail        a background retrain dies before
+ *                             producing a candidate (keyed by retrain
+ *                             ordinal; the service cools down on the
+ *                             active firmware)
+ *   serve.swap_crash          the promotion transaction crashes
+ *                             between staging and commit (keyed by
+ *                             the candidate version; the ring keeps
+ *                             the last-good image)
+ *   serve.shadow_corrupt      a shadow A/B score word is corrupted
+ *                             (keyed by scored-block ordinal; the
+ *                             promotion gate rejects the candidate on
+ *                             the non-finite score)
+ *   serve.probation_regress   the post-swap probation window sees
+ *                             synthetic guardrail trips, param per
+ *                             block (default 1; keyed by promotion
+ *                             ordinal and probation block — forces
+ *                             the auto-rollback path)
  *
  * The net.* sites key their draws by stable wire identities (scope
  * hash, unit index, heartbeat sequence) mixed with the connection

@@ -133,6 +133,96 @@ SrchPredictor::opsPerInference() const
                     low_->opsPerInference());
 }
 
+BlockReplayer::BlockReplayer(const Workload &workload,
+                             const BuildConfig &cfg, size_t k)
+    : cfg_(cfg), k_(k),
+      // Fault injection corrupts only the controller's telemetry
+      // view (subRows_/subCycles_); ground-truth deltas still feed
+      // energy and performance accounting. Draws are keyed by the
+      // workload's deterministic identity mixed with the sub-interval
+      // index, so fault sequences are identical at any thread count.
+      faultsOn_(FaultRegistry::instance().anyEnabled()),
+      traceKey_(mixSeeds(
+          workload.genome.seed,
+          mixSeeds(workload.inputSeed, workload.traceIndex))),
+      core_(cfg.core), power_(cfg.power, cfg.core.clockGhz),
+      gen_(workload),
+      subRows_(k, std::vector<float>(cfg.counterIds.size())),
+      subCycles_(k), carryRow_(cfg.counterIds.size(), 0.0f)
+{
+    core_.reset();
+    core_.setMode(CoreMode::HighPerf);
+    if (cfg_.warmupInstr > 0)
+        core_.run(gen_, cfg_.warmupInstr);
+    prev_ = core_.counters().raw();
+    deltaAll_.resize(prev_.size());
+}
+
+BlockReplayer::BlockStats
+BlockReplayer::runBlock(CoreMode mode, PpwAccumulator &acc)
+{
+    auto &reg = obs::StatRegistry::instance();
+    core_.setMode(mode);
+    const CoreMode block_mode = core_.mode();
+    const uint64_t b = block_++;
+    BlockStats totals;
+
+    for (size_t t = 0; t < k_; ++t) {
+        const IntervalStats stats =
+            core_.run(gen_, cfg_.intervalInstr);
+        totals.instructions += stats.instructions;
+        totals.cycles += stats.cycles;
+        const auto &now = core_.counters().raw();
+        for (size_t i = 0; i < now.size(); ++i)
+            deltaAll_[i] = now[i] - prev_[i];
+        prev_ = now;
+        bool dropped = false;
+        if (faultsOn_) {
+            view_ = deltaAll_;
+            dropped = applyTelemetryFaults(
+                view_, mixSeeds(traceKey_, b * k_ + t));
+        }
+        if (dropped) {
+            // Snapshot lost in flight: the controller reuses its
+            // previous view of this lane rather than reading
+            // garbage (zeros at the very start of the run).
+            subRows_[t] = carryRow_;
+            subCycles_[t] = carryCycles_;
+            reg.counter("controller.snapshot_carryforwards").add();
+        } else {
+            const auto &src = faultsOn_ ? view_ : deltaAll_;
+            for (size_t j = 0; j < cfg_.counterIds.size(); ++j)
+                subRows_[t][j] =
+                    static_cast<float>(src[cfg_.counterIds[j]]);
+            subCycles_[t] = static_cast<float>(stats.cycles);
+            if (faultsOn_) {
+                carryRow_ = subRows_[t];
+                carryCycles_ = subCycles_[t];
+            }
+        }
+        acc.add(stats.instructions, stats.cycles,
+                power_.intervalEnergyNj(deltaAll_, stats.cycles,
+                                        block_mode));
+    }
+    return totals;
+}
+
+std::vector<const float *>
+BlockReplayer::rowPtrs() const
+{
+    std::vector<const float *> ptrs;
+    ptrs.reserve(k_);
+    for (size_t t = 0; t < k_; ++t)
+        ptrs.push_back(subRows_[t].data());
+    return ptrs;
+}
+
+uint64_t
+BlockReplayer::modeSwitches() const
+{
+    return core_.counters().value(Ctr::ModeSwitches);
+}
+
 ClosedLoopResult
 runClosedLoop(const Workload &workload, const TraceRecord &reference,
               GatePredictor &predictor, const BuildConfig &cfg,
@@ -157,13 +247,7 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
     obs::Counter &stay_ctr =
         reg.counter("controller.nogate_decisions");
 
-    ClusteredCore core(cfg.core);
-    core.reset();
-    core.setMode(CoreMode::HighPerf);
-    PowerModel power(cfg.power, cfg.core.clockGhz);
-    TraceGenerator gen(workload);
-    if (cfg.warmupInstr > 0)
-        core.run(gen, cfg.warmupInstr);
+    BlockReplayer replayer(workload, cfg, k);
 
     const auto labels = blockLabels(reference, k, sla.pSla);
     const UcBudget budget;
@@ -180,25 +264,8 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
     }
 
     std::vector<uint8_t> predictions(blocks, 0); // applied config
-    std::vector<uint64_t> prev(core.counters().raw());
-    std::vector<uint64_t> delta_all(prev.size());
-    std::vector<std::vector<float>> sub_rows(
-        k, std::vector<float>(cfg.counterIds.size()));
-    std::vector<float> sub_cycles(k);
-
-    // Fault injection corrupts only the controller's telemetry view
-    // (sub_rows/sub_cycles); ground-truth deltas still feed energy
-    // and performance accounting. Draws are keyed by the workload's
-    // deterministic identity mixed with the sub-interval index, so
-    // fault sequences are identical at any thread count.
-    const bool faults_on = FaultRegistry::instance().anyEnabled();
-    const uint64_t trace_key = mixSeeds(
-        workload.genome.seed,
-        mixSeeds(workload.inputSeed, workload.traceIndex));
+    const uint64_t trace_key = replayer.traceKey();
     const FaultSite &miss_site = FAULT_SITE("uc.deadline_miss");
-    std::vector<uint64_t> view;
-    std::vector<float> carry_row(cfg.counterIds.size(), 0.0f);
-    float carry_cycles = 0.0f;
 
     PpwAccumulator adaptive;
     uint64_t low_blocks = 0;
@@ -207,49 +274,13 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
     std::vector<uint8_t> pending(blocks + 2, 0);
 
     for (size_t b = 0; b < blocks; ++b) {
-        core.setMode(pending[b] ? CoreMode::LowPower
-                                : CoreMode::HighPerf);
-        const CoreMode block_mode = core.mode();
+        const CoreMode block_mode = pending[b]
+            ? CoreMode::LowPower
+            : CoreMode::HighPerf;
         predictions[b] = pending[b];
         low_blocks += pending[b];
 
-        for (size_t t = 0; t < k; ++t) {
-            const IntervalStats stats =
-                core.run(gen, cfg.intervalInstr);
-            const auto &now = core.counters().raw();
-            for (size_t i = 0; i < now.size(); ++i)
-                delta_all[i] = now[i] - prev[i];
-            prev = now;
-            bool dropped = false;
-            if (faults_on) {
-                view = delta_all;
-                dropped = applyTelemetryFaults(
-                    view, mixSeeds(trace_key, b * k + t));
-            }
-            if (dropped) {
-                // Snapshot lost in flight: the controller reuses its
-                // previous view of this lane rather than reading
-                // garbage (zeros at the very start of the run).
-                sub_rows[t] = carry_row;
-                sub_cycles[t] = carry_cycles;
-                reg.counter("controller.snapshot_carryforwards")
-                    .add();
-            } else {
-                const auto &src = faults_on ? view : delta_all;
-                for (size_t j = 0; j < cfg.counterIds.size(); ++j)
-                    sub_rows[t][j] = static_cast<float>(
-                        src[cfg.counterIds[j]]);
-                sub_cycles[t] = static_cast<float>(stats.cycles);
-                if (faults_on) {
-                    carry_row = sub_rows[t];
-                    carry_cycles = sub_cycles[t];
-                }
-            }
-            adaptive.add(stats.instructions, stats.cycles,
-                         power.intervalEnergyNj(delta_all,
-                                                stats.cycles,
-                                                block_mode));
-        }
+        replayer.runBlock(block_mode, adaptive);
 
         // Microcontroller inference for block b+2. A deadline miss
         // (injected, or deterministic-on-overrun when the site's
@@ -270,12 +301,11 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
                 pending[b + 2] = pending[b + 1];
             continue;
         }
-        std::vector<const float *> row_ptrs;
-        for (size_t t = 0; t < k; ++t)
-            row_ptrs.push_back(sub_rows[t].data());
+        const std::vector<const float *> row_ptrs =
+            replayer.rowPtrs();
         const auto decide_start = std::chrono::steady_clock::now();
-        const bool gate =
-            predictor.decide(row_ptrs, sub_cycles, block_mode);
+        const bool gate = predictor.decide(
+            row_ptrs, replayer.subCycles(), block_mode);
         decision_lat.add(obs::elapsedNs(decide_start));
         ops_hist.add(predictor.opsPerInference());
         (gate ? gate_ctr : stay_ctr).add();
@@ -306,8 +336,7 @@ runClosedLoop(const Workload &workload, const TraceRecord &reference,
         : 100.0;
     result.lowResidency = static_cast<double>(low_blocks) /
         static_cast<double>(blocks);
-    result.modeSwitches =
-        core.counters().value(Ctr::ModeSwitches);
+    result.modeSwitches = replayer.modeSwitches();
 
     for (size_t b = 0; b < blocks; ++b)
         result.confusion.add(predictions[b] != 0, labels[b] != 0);

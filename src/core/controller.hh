@@ -25,6 +25,7 @@
 #include "core/sla.hh"
 #include "ml/model.hh"
 #include "ml/srch.hh"
+#include "sim/core.hh"
 
 namespace psca {
 
@@ -118,6 +119,82 @@ class SrchPredictor : public GatePredictor
     std::vector<size_t> columns_;
     uint64_t granularity_;
     std::string name_;
+};
+
+/**
+ * Replays one workload block by block for closed-loop control: the
+ * per-block simulate / snapshot / fault-inject / account machinery
+ * that runClosedLoop() and the serve loop (src/serve) share. The
+ * caller picks each block's cluster mode (the applied decision) and
+ * receives the controller's telemetry view of the finished block;
+ * ground-truth deltas feed energy/performance accounting regardless
+ * of injected telemetry faults, exactly as in the batch loop.
+ *
+ * Determinism: fault draws are keyed by the workload's stable
+ * identity mixed with the sub-interval index (traceKey()), so a given
+ * PSCA_FAULTS + PSCA_FAULT_SEED produces a bit-identical fault
+ * sequence at any PSCA_THREADS, and per-interval PpwAccumulator adds
+ * happen in the same order as before the extraction, so accumulated
+ * float sums are bit-identical too.
+ */
+class BlockReplayer
+{
+  public:
+    /** Totals of one replayed block. */
+    struct BlockStats
+    {
+        uint64_t instructions = 0;
+        uint64_t cycles = 0;
+    };
+
+    /**
+     * @param k Sub-intervals per block (granularity / interval).
+     */
+    BlockReplayer(const Workload &workload, const BuildConfig &cfg,
+                  size_t k);
+
+    /**
+     * Simulate the next block in @p mode. The controller's
+     * (fault-injected) telemetry view lands in subRows()/subCycles();
+     * per-interval energy/perf accounting accumulates into @p acc.
+     */
+    BlockStats runBlock(CoreMode mode, PpwAccumulator &acc);
+
+    /** Telemetry view of the last block's sub-intervals. */
+    const std::vector<std::vector<float>> &subRows() const
+    {
+        return subRows_;
+    }
+    const std::vector<float> &subCycles() const { return subCycles_; }
+
+    /** subRows() as the row-pointer list predictors consume. */
+    std::vector<const float *> rowPtrs() const;
+
+    /** Stable fault-stream identity of this workload. */
+    uint64_t traceKey() const { return traceKey_; }
+
+    /** Blocks replayed so far. */
+    uint64_t blocksRun() const { return block_; }
+
+    /** Cumulative cluster mode switches of the simulated core. */
+    uint64_t modeSwitches() const;
+
+  private:
+    BuildConfig cfg_;
+    size_t k_;
+    bool faultsOn_;
+    uint64_t traceKey_;
+    ClusteredCore core_;
+    PowerModel power_;
+    TraceGenerator gen_;
+    std::vector<uint64_t> prev_;
+    std::vector<uint64_t> deltaAll_;
+    std::vector<uint64_t> view_;
+    std::vector<std::vector<float>> subRows_;
+    std::vector<float> subCycles_;
+    std::vector<float> carryRow_;
+    float carryCycles_ = 0.0f;
+    uint64_t block_ = 0;
 };
 
 /** Outcome of one closed-loop adaptive run. */

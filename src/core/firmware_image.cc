@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/journal.hh"
 #include "common/logging.hh"
@@ -130,6 +131,25 @@ FirmwarePackage::save(const std::string &path) const
     PSCA_ASSERT(ok, "firmware image write failed");
 }
 
+bool
+FirmwarePackage::tryLoad(const std::string &path, FirmwarePackage &out)
+{
+    BinaryReader in(path);
+    if (readFileHeader(in, kMagic, kFwVersion) != HeaderCheck::Ok)
+        return false;
+    FirmwarePackage pkg;
+    pkg.name = in.getString();
+    pkg.granularityInstr = in.get<uint64_t>();
+    pkg.columns = in.getVector<uint32_t>();
+    pkg.fixedPoint = in.get<uint8_t>() != 0;
+    pkg.high = readSlot(in);
+    pkg.low = readSlot(in);
+    if (!in.good() || !in.verifyChecksumTrailer())
+        return false;
+    out = std::move(pkg);
+    return true;
+}
+
 FirmwarePackage
 FirmwarePackage::load(const std::string &path)
 {
@@ -140,19 +160,14 @@ FirmwarePackage::load(const std::string &path)
               "': version mismatch (stale or future format)");
     if (hdr != HeaderCheck::Ok)
         fatal("'", path, "' is not a psca firmware image");
-    FirmwarePackage pkg;
-    pkg.name = in.getString();
-    pkg.granularityInstr = in.get<uint64_t>();
-    pkg.columns = in.getVector<uint32_t>();
-    pkg.fixedPoint = in.get<uint8_t>() != 0;
-    pkg.high = readSlot(in);
-    pkg.low = readSlot(in);
-    if (!in.good())
-        fatal("firmware image '", path, "' is truncated");
     // A firmware image is flashed, not rebuilt: unlike the caches
-    // there is no fallback, so a checksum mismatch is fatal.
-    if (!in.verifyChecksumTrailer())
-        fatal("firmware image '", path, "' failed checksum");
+    // there is no fallback here, so any corruption is fatal. The
+    // serve layer's rollback ring uses tryLoad() instead — it can
+    // fall back to an earlier version.
+    FirmwarePackage pkg;
+    if (!tryLoad(path, pkg))
+        fatal("firmware image '", path,
+              "' is truncated or failed checksum");
     return pkg;
 }
 

@@ -67,6 +67,14 @@ struct FirmwarePackage
 
     /** Load a package; fatal on malformed images. */
     static FirmwarePackage load(const std::string &path);
+
+    /**
+     * Non-fatal load: false on a missing, truncated, or corrupt
+     * image, @p out untouched on failure. The serve rollback ring
+     * uses this to walk back to the newest verifiable version
+     * instead of aborting the process.
+     */
+    static bool tryLoad(const std::string &path, FirmwarePackage &out);
 };
 
 /**

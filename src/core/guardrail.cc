@@ -75,6 +75,7 @@ GuardrailedPredictor::decide(
     }
 
     const bool inner_gate = inner_.decide(sub_rows, sub_cycles, mode);
+    lastInner_ = inner_gate;
     if (holdoffRemaining_ > 0) {
         --holdoffRemaining_;
         return false; // veto: force high-performance mode

@@ -59,6 +59,14 @@ class GuardrailedPredictor : public GatePredictor
     /** Times the guardrail forced high-performance mode. */
     uint64_t trips() const { return trips_; }
 
+    /**
+     * The wrapped model's raw decision from the most recent decide()
+     * call, before any guardrail veto. The serve loop's A/B scorer
+     * compares model quality (active raw vs shadow raw) without
+     * re-implementing the guardrail outside this class.
+     */
+    bool lastInnerDecision() const { return lastInner_; }
+
   private:
     GatePredictor &inner_;
     GuardrailConfig cfg_;
@@ -66,6 +74,7 @@ class GuardrailedPredictor : public GatePredictor
     int violationStreak_ = 0;
     int holdoffRemaining_ = 0;
     uint64_t trips_ = 0;
+    bool lastInner_ = false;
 };
 
 } // namespace psca

@@ -224,6 +224,19 @@ wrapDual(std::string name, TrainedDual dual,
 
 } // namespace
 
+ModelFactory
+forestFactory(int trees, int depth)
+{
+    return [trees, depth](const Dataset &tune,
+                          uint64_t s) -> std::unique_ptr<Model> {
+        ForestConfig fc;
+        fc.numTrees = trees;
+        fc.maxDepth = depth;
+        fc.seed = s;
+        return std::make_unique<RandomForest>(tune, fc);
+    };
+}
+
 NamedPredictor
 makeBestRf(const ExperimentContext &ctx, double p_sla, uint64_t seed)
 {
@@ -234,15 +247,8 @@ makeBestRf(const ExperimentContext &ctx, double p_sla, uint64_t seed)
     opts.rsvWindow = rsvWindowFor(ctx, opts.granularityInstr);
     opts.seed = seed;
 
-    TrainedDual dual = trainDual(
-        ctx.hdtr, ctx.build, opts,
-        [](const Dataset &tune, uint64_t s) -> std::unique_ptr<Model> {
-            ForestConfig fc;
-            fc.numTrees = 8;
-            fc.maxDepth = 8;
-            fc.seed = s;
-            return std::make_unique<RandomForest>(tune, fc);
-        });
+    TrainedDual dual =
+        trainDual(ctx.hdtr, ctx.build, opts, forestFactory(8, 8));
     return wrapDual("Best RF", std::move(dual), opts.columns,
                     opts.granularityInstr);
 }

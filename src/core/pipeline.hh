@@ -102,6 +102,13 @@ TrainedDual trainDual(const std::vector<TraceRecord> &records,
                       const DualTrainOptions &opts,
                       const ModelFactory &factory);
 
+/**
+ * The standard RandomForest ModelFactory (@p trees × depth @p depth)
+ * shared by the Best-RF pipeline, the CLI trainer, and the serve
+ * layer's background retrains.
+ */
+ModelFactory forestFactory(int trees, int depth);
+
 /** Named predictor bundle for the evaluation benches. */
 struct NamedPredictor
 {

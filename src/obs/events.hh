@@ -73,9 +73,12 @@ class EventLog
     /**
      * The {"logged", "dropped", "log": [...]} JSON object at report
      * indentation (object lines indented by @p indent + 2 spaces).
+     * @p since drops events with seq < since — the /events?since=N
+     * incremental-polling path; 0 (the default) writes every retained
+     * event, so existing callers keep their exact byte layout.
      */
-    void writeJson(std::ostream &os,
-                   const std::string &indent) const;
+    void writeJson(std::ostream &os, const std::string &indent,
+                   uint64_t since = 0) const;
 
     /**
      * The report's optional `"events": {...},` section: nothing is

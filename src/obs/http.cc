@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -20,6 +21,24 @@
 
 namespace psca {
 namespace obs {
+
+namespace {
+
+std::atomic<HealthProviderFn> g_health_provider{nullptr};
+
+} // namespace
+
+void
+setHealthProvider(HealthProviderFn fn)
+{
+    g_health_provider.store(fn, std::memory_order_relaxed);
+}
+
+HealthProviderFn
+healthProvider()
+{
+    return g_health_provider.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -48,13 +67,49 @@ statsBody()
 }
 
 std::string
-eventsBody()
+eventsBody(uint64_t since)
 {
     std::ostringstream os;
     os << "{\n  \"report\": \"events\",\n  \"events\": ";
-    EventLog::instance().writeJson(os, "  ");
+    EventLog::instance().writeJson(os, "  ", since);
     os << "\n}\n";
     return os.str();
+}
+
+std::string
+healthBody()
+{
+    if (HealthProviderFn fn = healthProvider())
+        return fn();
+    return "{\n  \"state\": \"idle\"\n}\n";
+}
+
+/** Value of @p key in an urlencoded query string, or @p def. */
+uint64_t
+queryParamU64(const std::string &query, const std::string &key,
+              uint64_t def)
+{
+    size_t pos = 0;
+    while (pos < query.size()) {
+        size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        const size_t eq = query.find('=', pos);
+        if (eq != std::string::npos && eq < amp &&
+            query.compare(pos, eq - pos, key) == 0)
+        {
+            const std::string value =
+                query.substr(eq + 1, amp - eq - 1);
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(value.c_str(), &end, 10);
+            if (end && *end == '\0' && end != value.c_str())
+                return v;
+            return def;
+        }
+        pos = amp + 1;
+    }
+    return def;
 }
 
 std::string
@@ -82,7 +137,7 @@ std::string
 indexBody()
 {
     return "{\n  \"endpoints\": [\"/stats.json\", \"/events\", "
-           "\"/phases\"]\n}\n";
+           "\"/health\", \"/phases\"]\n}\n";
 }
 
 void
@@ -186,7 +241,7 @@ HttpServer::start(int port, const std::string &bind_addr)
     StatRegistry::instance().counter("http.requests");
     thread_ = std::thread([this] { acceptLoop(); });
     inform("live-stats endpoint on http://", bind_addr, ":", resolved,
-           " (/stats.json /events /phases)");
+           " (/stats.json /events /health /phases)");
     return true;
 }
 
@@ -254,9 +309,12 @@ HttpServer::handleConnection(int fd)
     }
     const std::string method = req.substr(0, sp1);
     std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string query;
     const size_t q = path.find('?');
-    if (q != std::string::npos)
+    if (q != std::string::npos) {
+        query = path.substr(q + 1);
         path.resize(q);
+    }
 
     StatRegistry::instance().counter("http.requests").add();
     if (method != "GET") {
@@ -267,7 +325,10 @@ HttpServer::handleConnection(int fd)
     if (path == "/stats.json")
         sendResponse(fd, "200 OK", statsBody());
     else if (path == "/events")
-        sendResponse(fd, "200 OK", eventsBody());
+        sendResponse(fd, "200 OK",
+                     eventsBody(queryParamU64(query, "since", 0)));
+    else if (path == "/health")
+        sendResponse(fd, "200 OK", healthBody());
     else if (path == "/phases")
         sendResponse(fd, "200 OK", phasesBody());
     else if (path == "/" || path == "/index.json")

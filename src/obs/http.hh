@@ -6,7 +6,14 @@
  * another machine is observable with curl:
  *
  *   /stats.json  the full live report (stats, events, phase tree)
- *   /events      the recent structured event log
+ *   /events      the recent structured event log; ?since=<seq>
+ *                returns only events at or after that sequence
+ *                number, so operators can tail transitions without
+ *                re-downloading the whole ring
+ *   /health      the adaptive-service health view (state machine
+ *                state, active/shadow firmware versions, last
+ *                promote/rollback) when a service registered a
+ *                provider; {"state": "idle"} otherwise
  *   /phases      cumulative phase tree + currently open scopes
  *   /            endpoint index
  *
@@ -27,6 +34,20 @@
 
 namespace psca {
 namespace obs {
+
+/**
+ * Provider of the /health JSON body. Same function-pointer idiom as
+ * the live-snapshot augmenter and the dist-scope hook: obs cannot
+ * link the serve layer, so the service registers a callback at
+ * construction. Must be thread-safe — it runs on the HTTP thread.
+ */
+using HealthProviderFn = std::string (*)();
+
+/** Install (or clear, with nullptr) the /health provider. */
+void setHealthProvider(HealthProviderFn fn);
+
+/** The installed provider (nullptr when none). */
+HealthProviderFn healthProvider();
 
 class HttpServer
 {

@@ -1,0 +1,669 @@
+/**
+ * @file
+ * Tests for the online adaptation service (src/serve): the versioned
+ * firmware rollback ring's publish/rollback/retention and crash
+ * windows (fork-and-SIGKILL between stage and commit), the drift
+ * detector's z-statistics and trip-rate trending, the full lifecycle
+ * cycle HEALTHY -> DRIFTING -> RETRAINING -> SHADOWING -> PROMOTING
+ * -> HEALTHY on a planted distribution shift, same-seed determinism
+ * of the lifecycle transition sequence, fail-safe behaviour under
+ * every serve.* fault site, and the /health + /events?since HTTP
+ * surface.
+ *
+ * Fork discipline (same as test_runner.cc): children _exit() and the
+ * parent never touches the ThreadPool/SimMemo/Journal singletons from
+ * a forked context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/journal.hh"
+#include "common/serialize.hh"
+#include "obs/http.hh"
+#include "serve/drift.hh"
+#include "serve/ring.hh"
+#include "serve/service.hh"
+#include "trace/genome.hh"
+
+using namespace psca;
+using namespace psca::serve;
+
+namespace {
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir =
+        std::filesystem::temp_directory_path().string() +
+        "/psca_serve_test_" + std::to_string(::getpid()) + "_" + name;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream s;
+    s << f.rdbuf();
+    return s.str();
+}
+
+/** A small valid firmware package; @p tag varies the image bytes. */
+FirmwarePackage
+syntheticPackage(uint32_t tag)
+{
+    FirmwarePackage pkg;
+    pkg.name = "synthetic-v" + std::to_string(tag);
+    pkg.granularityInstr = 20000;
+    pkg.columns = {0, 1, 2, 3};
+    for (FirmwareSlot *slot : {&pkg.high, &pkg.low}) {
+        slot->program.numInputs = 4;
+        slot->program.mem = {0.25f, 0.5f,
+                             static_cast<float>(tag)};
+        slot->scaler.mean = {0.0f, 0.0f, 0.0f, 0.0f};
+        slot->scaler.invStd = {1.0f, 1.0f, 1.0f, 1.0f};
+        slot->threshold = 0.5f + 0.01f * static_cast<float>(tag);
+    }
+    return pkg;
+}
+
+/** Identity scaler: z == input, so test rows speak z directly. */
+FeatureScaler
+identityScaler(size_t dims)
+{
+    FeatureScaler s;
+    s.mean.assign(dims, 0.0f);
+    s.invStd.assign(dims, 1.0f);
+    return s;
+}
+
+/** Memory-bound pointer chasing: a gate-friendly distribution. */
+Workload
+memBoundWorkload(uint64_t seed, uint64_t len)
+{
+    AppGenome g;
+    g.name = "serve_membound";
+    g.seed = seed;
+    PhaseSpec p;
+    p.kernel = {.kind = KernelKind::PointerChase,
+                .workingSetBytes = 16 << 20,
+                .chains = 2};
+    p.weight = 1.0;
+    p.meanLenInstr = 120e3;
+    g.phases = {p};
+    Workload w;
+    w.genome = g;
+    w.inputSeed = 1;
+    w.lengthInstr = len;
+    w.name = g.name;
+    return w;
+}
+
+/** Compute-bound ILP: the opposite corner of the feature space. */
+Workload
+ilpWorkload(uint64_t seed, uint64_t len)
+{
+    AppGenome g;
+    g.name = "serve_ilp";
+    g.seed = seed;
+    PhaseSpec p;
+    p.kernel = {.kind = KernelKind::Ilp, .chains = 14};
+    p.weight = 1.0;
+    p.meanLenInstr = 120e3;
+    g.phases = {p};
+    Workload w;
+    w.genome = g;
+    w.inputSeed = 1;
+    w.lengthInstr = len;
+    w.name = g.name;
+    return w;
+}
+
+BuildConfig
+testBuildConfig()
+{
+    BuildConfig cfg;
+    cfg.intervalInstr = 10000;
+    cfg.warmupInstr = 20000;
+    cfg.counterIds = {
+        CounterRegistry::index(Ctr::InstRetired),
+        CounterRegistry::index(Ctr::StallCount),
+        CounterRegistry::index(Ctr::L1dMiss),
+        CounterRegistry::index(Ctr::LoadLatSum),
+        CounterRegistry::index(Ctr::MshrOccSum),
+        CounterRegistry::index(Ctr::UopsStalledOnDep),
+        CounterRegistry::index(Ctr::UopsReady),
+        CounterRegistry::index(Ctr::SqOccSum),
+    };
+    return cfg;
+}
+
+ServeConfig
+testServeConfig(const std::string &dir)
+{
+    ServeConfig cfg;
+    cfg.dir = dir;
+    cfg.seed = 5;
+    cfg.granularityInstr = 20000;
+    cfg.columns = {0, 1, 2, 3, 4, 5, 6, 7};
+    cfg.forestTrees = 4;
+    cfg.forestDepth = 4;
+    cfg.driftWindow = 6;
+    cfg.driftZ = 2.0;
+    cfg.abIntervals = 8;
+    cfg.probationIntervals = 8;
+    cfg.cooldownBlocks = 8;
+    cfg.ringKeep = 4;
+    return cfg;
+}
+
+/** The standard shift schedule: mem-bound, then compute-bound. */
+std::vector<ServeSegment>
+shiftSchedule(uint64_t len = 400000)
+{
+    return {{memBoundWorkload(3, len), 24},
+            {ilpWorkload(4, len), 60}};
+}
+
+bool
+lifecycleContains(const ServeOutcome &out, const std::string &needle)
+{
+    for (const std::string &line : out.lifecycle)
+        if (line.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+class ServeFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        FaultRegistry::instance().configure("", 1);
+    }
+    void TearDown() override
+    {
+        FaultRegistry::instance().configure("", 1);
+    }
+};
+
+using RingTest = ServeFixture;
+using DriftTest = ServeFixture;
+using ServiceTest = ServeFixture;
+
+/** One blocking HTTP GET against 127.0.0.1:port. */
+std::string
+httpGet(int port, const std::string &path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+    {
+        ::close(fd);
+        return "";
+    }
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    ::send(fd, req.data(), req.size(), 0);
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return resp;
+}
+
+} // namespace
+
+TEST_F(RingTest, PromoteRollbackRetention)
+{
+    const std::string dir = freshDir("ring_basic");
+    FirmwareRing ring(dir, /*keep=*/3);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.activeVersion(), 0u);
+
+    for (uint32_t tag = 1; tag <= 5; ++tag) {
+        const uint32_t v = ring.promote(syntheticPackage(tag));
+        EXPECT_EQ(v, tag);
+        EXPECT_EQ(ring.activeVersion(), tag);
+        EXPECT_TRUE(ring.verifyAll());
+    }
+    // keep=3: v1 and v2 pruned, their image files gone.
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_FALSE(std::filesystem::exists(ring.imagePath(1)));
+    EXPECT_FALSE(std::filesystem::exists(ring.imagePath(2)));
+    EXPECT_TRUE(std::filesystem::exists(ring.imagePath(5)));
+
+    // Rollback repoints the manifest; image bytes are untouched.
+    const std::string v4_bytes = readAll(ring.imagePath(4));
+    EXPECT_EQ(ring.previousVersion(5), 4u);
+    EXPECT_TRUE(ring.rollbackTo(4));
+    EXPECT_EQ(ring.activeVersion(), 4u);
+    EXPECT_TRUE(ring.verifyImage(4));
+    EXPECT_EQ(readAll(ring.imagePath(4)), v4_bytes);
+
+    // A reopened ring sees the same state (manifest replay).
+    FirmwareRing reopened(dir, 3);
+    EXPECT_EQ(reopened.activeVersion(), 4u);
+    EXPECT_EQ(reopened.size(), 3u);
+    FirmwarePackage pkg;
+    uint32_t v = 0;
+    EXPECT_TRUE(reopened.loadActive(pkg, v));
+    EXPECT_EQ(v, 4u);
+    EXPECT_EQ(pkg.name, "synthetic-v4");
+
+    // Rolling back to a pruned version must refuse.
+    EXPECT_FALSE(ring.rollbackTo(1));
+    EXPECT_EQ(ring.activeVersion(), 4u);
+}
+
+TEST_F(RingTest, CrashBetweenStageAndCommitPublishesNothing)
+{
+    const std::string dir = freshDir("ring_crash");
+    {
+        FirmwareRing setup(dir, 4);
+        ASSERT_EQ(setup.promote(syntheticPackage(1)), 1u);
+    }
+    const std::string v1_bytes =
+        readAll(dir + "/fw.v1.bin");
+
+    // Child stages v2 (image + manifest written to temp names) and
+    // SIGKILLs itself before the commit renames.
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        FirmwareRing ring(dir, 4);
+        ring.setPromoteHook([] { ::raise(SIGKILL); });
+        ring.promote(syntheticPackage(2));
+        ::_exit(1); // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Nothing torn or mixed: the ring still serves v1, byte-exact.
+    FirmwareRing ring(dir, 4);
+    EXPECT_EQ(ring.activeVersion(), 1u);
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_TRUE(ring.verifyAll());
+    EXPECT_FALSE(std::filesystem::exists(dir + "/fw.v2.bin"));
+    FirmwarePackage pkg;
+    uint32_t v = 0;
+    ASSERT_TRUE(ring.loadActive(pkg, v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(readAll(dir + "/fw.v1.bin"), v1_bytes);
+}
+
+TEST_F(RingTest, CrashBetweenCommitRenamesLeavesOldManifestValid)
+{
+    // Simulate the worst prefix-commit window: the image rename
+    // landed (stage order puts it first) but the process died before
+    // the manifest rename. The new image exists under its final name
+    // yet the old manifest never references it.
+    const std::string dir = freshDir("ring_prefix");
+    {
+        FirmwareRing setup(dir, 4);
+        ASSERT_EQ(setup.promote(syntheticPackage(1)), 1u);
+    }
+    {
+        BinaryWriter out(dir + "/fw.v2.bin");
+        syntheticPackage(2).write(out);
+    }
+
+    FirmwareRing ring(dir, 4);
+    EXPECT_EQ(ring.activeVersion(), 1u);
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_TRUE(ring.verifyAll());
+    FirmwarePackage pkg;
+    uint32_t v = 0;
+    ASSERT_TRUE(ring.loadActive(pkg, v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(pkg.name, "synthetic-v1");
+}
+
+TEST_F(RingTest, InjectedSwapCrashLeavesRingUnchanged)
+{
+    const std::string dir = freshDir("ring_swapfault");
+    FirmwareRing ring(dir, 4);
+    ASSERT_EQ(ring.promote(syntheticPackage(1)), 1u);
+    const std::string manifest_bytes = readAll(ring.manifestPath());
+
+    FaultRegistry::instance().configure("serve.swap_crash:1", 7);
+    EXPECT_EQ(ring.promote(syntheticPackage(2)), 0u);
+    EXPECT_EQ(ring.activeVersion(), 1u);
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(readAll(ring.manifestPath()), manifest_bytes);
+    EXPECT_TRUE(ring.verifyAll());
+
+    // Disarmed, the same promote succeeds.
+    FaultRegistry::instance().configure("", 7);
+    EXPECT_EQ(ring.promote(syntheticPackage(2)), 2u);
+    EXPECT_TRUE(ring.verifyAll());
+}
+
+TEST_F(RingTest, CorruptActiveImageWalksBackToVerifiedVersion)
+{
+    const std::string dir = freshDir("ring_walkback");
+    FirmwareRing ring(dir, 4);
+    ASSERT_EQ(ring.promote(syntheticPackage(1)), 1u);
+    ASSERT_EQ(ring.promote(syntheticPackage(2)), 2u);
+    const std::string v1_bytes = readAll(ring.imagePath(1));
+
+    // Flip a byte in the active image.
+    {
+        std::fstream f(ring.imagePath(2),
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        f.seekp(12);
+        char c = 0;
+        f.read(&c, 1);
+        f.seekp(12);
+        c = static_cast<char>(c ^ 0x5a);
+        f.write(&c, 1);
+    }
+    EXPECT_FALSE(ring.verifyImage(2));
+
+    FirmwarePackage pkg;
+    uint32_t v = 0;
+    ASSERT_TRUE(ring.loadActive(pkg, v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(pkg.name, "synthetic-v1");
+    EXPECT_EQ(ring.activeVersion(), 1u);
+    EXPECT_EQ(readAll(ring.imagePath(1)), v1_bytes);
+}
+
+TEST_F(DriftTest, StableDistributionDoesNotDrift)
+{
+    DriftDetector det(DriftConfig{4, 3.0, 16.0, 4.0, 0.25});
+    det.setReference(identityScaler(2), identityScaler(2), 2);
+    const std::vector<float> row{0.5f, -0.5f};
+    for (int i = 0; i < 8; ++i)
+        det.observe(row, CoreMode::HighPerf, 0);
+    ASSERT_TRUE(det.windowComplete());
+    DriftVerdict v = det.takeWindow();
+    EXPECT_FALSE(v.drifted);
+    EXPECT_NEAR(v.maxAbsMeanZ, 0.5, 1e-6);
+}
+
+TEST_F(DriftTest, MeanShiftInScalerUnitsDrifts)
+{
+    DriftDetector det(DriftConfig{4, 3.0, 16.0, 4.0, 0.25});
+    det.setReference(identityScaler(2), identityScaler(2), 2);
+    const std::vector<float> shifted{0.0f, 5.0f};
+    for (int i = 0; i < 4; ++i)
+        det.observe(shifted, CoreMode::LowPower, 0);
+    DriftVerdict v = det.takeWindow();
+    EXPECT_TRUE(v.drifted);
+    EXPECT_EQ(v.reason, "feature mean shift");
+    EXPECT_EQ(v.worstFeature, 1u);
+    EXPECT_NEAR(v.maxAbsMeanZ, 5.0, 1e-6);
+}
+
+TEST_F(DriftTest, TripRateTrendDriftsAfterBaselineWindow)
+{
+    DriftDetector det(DriftConfig{4, 3.0, 16.0, 4.0, 0.25});
+    det.setReference(identityScaler(1), identityScaler(1), 1);
+    const std::vector<float> calm{0.0f};
+
+    // First window: high trip rate, but it only sets the baseline.
+    for (int i = 0; i < 4; ++i)
+        det.observe(calm, CoreMode::HighPerf, 1);
+    DriftVerdict first = det.takeWindow();
+    EXPECT_FALSE(first.drifted);
+    EXPECT_NEAR(first.tripRate, 1.0, 1e-9);
+
+    // Second window at the same rate: no trend, no drift.
+    for (int i = 0; i < 4; ++i)
+        det.observe(calm, CoreMode::HighPerf, 1);
+    EXPECT_FALSE(det.takeWindow().drifted);
+
+    // Re-reference with a calm baseline, then spike the rate.
+    det.setReference(identityScaler(1), identityScaler(1), 1);
+    for (int i = 0; i < 4; ++i)
+        det.observe(calm, CoreMode::HighPerf, 0);
+    EXPECT_FALSE(det.takeWindow().drifted);
+    for (int i = 0; i < 4; ++i)
+        det.observe(calm, CoreMode::HighPerf, 2);
+    DriftVerdict spiked = det.takeWindow();
+    EXPECT_TRUE(spiked.drifted);
+    EXPECT_EQ(spiked.reason, "guardrail trip-rate trend");
+}
+
+TEST_F(DriftTest, NonFiniteInputsAreNeutralized)
+{
+    DriftDetector det(DriftConfig{2, 3.0, 16.0, 4.0, 0.25});
+    det.setReference(identityScaler(1), identityScaler(1), 1);
+    const std::vector<float> bad{
+        std::numeric_limits<float>::quiet_NaN()};
+    det.observe(bad, CoreMode::HighPerf, 0);
+    det.observe(bad, CoreMode::HighPerf, 0);
+    DriftVerdict v = det.takeWindow();
+    EXPECT_FALSE(v.drifted);
+    EXPECT_EQ(v.maxAbsMeanZ, 0.0);
+}
+
+TEST_F(ServiceTest, FullLifecycleCycleOnDistributionShift)
+{
+    const std::string dir = freshDir("svc_cycle");
+    Service service(testServeConfig(dir), testBuildConfig(),
+                    shiftSchedule());
+    const ServeOutcome &out = service.run();
+
+    EXPECT_GE(out.driftsDetected, 1u);
+    EXPECT_GE(out.retrains, 2u); // bootstrap + at least one drift
+    EXPECT_GE(out.shadowsScored, 8u);
+    EXPECT_GE(out.promotions, 1u);
+    EXPECT_EQ(out.rollbacks, 0u) << "fault-free run must not roll back";
+    EXPECT_EQ(out.retrainFailures, 0u);
+    EXPECT_EQ(out.swapFailures, 0u);
+    EXPECT_GE(out.activeVersion, 2u);
+
+    EXPECT_TRUE(lifecycleContains(out, "HEALTHY->DRIFTING"));
+    EXPECT_TRUE(lifecycleContains(out, "DRIFTING->RETRAINING"));
+    EXPECT_TRUE(lifecycleContains(out, "RETRAINING->SHADOWING"));
+    EXPECT_TRUE(lifecycleContains(out, "SHADOWING->PROMOTING"));
+    EXPECT_TRUE(lifecycleContains(out, "probation passed"));
+    EXPECT_TRUE(service.ring().verifyAll());
+
+    // The lifecycle artifact matches the in-memory sequence.
+    const std::string artifact = readAll(dir + "/lifecycle.txt");
+    std::string expect;
+    for (const std::string &line : out.lifecycle)
+        expect += line + "\n";
+    EXPECT_EQ(artifact, expect);
+}
+
+TEST_F(ServiceTest, SameSeedRunsAreByteIdentical)
+{
+    const std::string dir_a = freshDir("svc_det_a");
+    const std::string dir_b = freshDir("svc_det_b");
+
+    Service a(testServeConfig(dir_a), testBuildConfig(),
+              shiftSchedule());
+    const ServeOutcome out_a = a.run();
+    Service b(testServeConfig(dir_b), testBuildConfig(),
+              shiftSchedule());
+    const ServeOutcome out_b = b.run();
+
+    ASSERT_EQ(out_a.lifecycle.size(), out_b.lifecycle.size());
+    for (size_t i = 0; i < out_a.lifecycle.size(); ++i)
+        EXPECT_EQ(out_a.lifecycle[i], out_b.lifecycle[i]) << i;
+    EXPECT_EQ(out_a.activeVersion, out_b.activeVersion);
+    EXPECT_EQ(readAll(dir_a + "/lifecycle.txt"),
+              readAll(dir_b + "/lifecycle.txt"));
+    EXPECT_EQ(
+        readAll(a.ring().imagePath(out_a.activeVersion)),
+        readAll(b.ring().imagePath(out_b.activeVersion)));
+}
+
+TEST_F(ServiceTest, RetrainFailureFailsSafeToActiveFirmware)
+{
+    const std::string dir = freshDir("svc_retrainfail");
+    // Ordinal 1 is the first post-bootstrap retrain (bootstrap is
+    // ordinal 0 and must succeed for the service to come up).
+    FaultRegistry::instance().configure("serve.retrain_fail:1", 11);
+    // serve.retrain_fail at rate 1 would also kill the bootstrap
+    // train; it is checked only on the drift path, so bootstrap
+    // (which calls trainCandidate directly) still succeeds.
+    Service service(testServeConfig(dir), testBuildConfig(),
+                    shiftSchedule());
+    const ServeOutcome &out = service.run();
+
+    EXPECT_GE(out.driftsDetected, 1u);
+    EXPECT_GE(out.retrainFailures, 1u);
+    EXPECT_EQ(out.promotions, 0u);
+    EXPECT_EQ(out.activeVersion, 1u);
+    EXPECT_TRUE(lifecycleContains(out, "retrain failed"));
+    EXPECT_TRUE(service.ring().verifyAll());
+    FirmwarePackage pkg;
+    uint32_t v = 0;
+    FirmwareRing reopened(dir, 4);
+    ASSERT_TRUE(reopened.loadActive(pkg, v));
+    EXPECT_EQ(v, 1u);
+}
+
+TEST_F(ServiceTest, ShadowCorruptionRejectsCandidate)
+{
+    const std::string dir = freshDir("svc_shadowcorrupt");
+    FaultRegistry::instance().configure("serve.shadow_corrupt:1", 13);
+    Service service(testServeConfig(dir), testBuildConfig(),
+                    shiftSchedule());
+    const ServeOutcome &out = service.run();
+
+    EXPECT_GE(out.shadowCorruptions, 1u);
+    EXPECT_EQ(out.promotions, 0u);
+    EXPECT_GE(out.rejections, 1u);
+    EXPECT_EQ(out.activeVersion, 1u);
+    EXPECT_TRUE(lifecycleContains(out, "corrupt"));
+    EXPECT_TRUE(service.ring().verifyAll());
+}
+
+TEST_F(ServiceTest, MidSwapCrashKeepsServingLastGoodFirmware)
+{
+    const std::string dir = freshDir("svc_swapcrash");
+    // Bootstrap fault-free so v1 exists, then resume with the swap
+    // site armed: the drift-triggered promotion dies mid-transaction
+    // and the service keeps serving v1.
+    {
+        Service bootstrap_only(testServeConfig(dir),
+                               testBuildConfig(), shiftSchedule());
+        bootstrap_only.run(/*max_blocks=*/1);
+    }
+    const std::string v1_bytes = readAll(dir + "/fw.v1.bin");
+    ASSERT_FALSE(v1_bytes.empty());
+
+    FaultRegistry::instance().configure("serve.swap_crash:1", 17);
+    Service service(testServeConfig(dir), testBuildConfig(),
+                    shiftSchedule());
+    const ServeOutcome &out = service.run();
+
+    EXPECT_GE(out.swapFailures, 1u);
+    EXPECT_EQ(out.promotions, 0u);
+    EXPECT_EQ(out.activeVersion, 1u);
+    EXPECT_TRUE(lifecycleContains(out, "swap failed"));
+    EXPECT_TRUE(service.ring().verifyAll());
+    EXPECT_EQ(readAll(dir + "/fw.v1.bin"), v1_bytes);
+}
+
+TEST_F(ServiceTest, ProbationRegressionRollsBackByteIdentical)
+{
+    const std::string dir = freshDir("svc_probation");
+    // Every probation block gains 50 synthetic guardrail trips: any
+    // promoted candidate regresses immediately.
+    FaultRegistry::instance().configure(
+        "serve.probation_regress:1:50", 19);
+    Service service(testServeConfig(dir), testBuildConfig(),
+                    shiftSchedule());
+    const ServeOutcome &out = service.run();
+
+    EXPECT_GE(out.promotions, 1u);
+    EXPECT_GE(out.rollbacks, 1u);
+    EXPECT_EQ(out.activeVersion, 1u)
+        << "service must converge back to the pre-swap firmware";
+    EXPECT_TRUE(lifecycleContains(out, "PROMOTING->ROLLED_BACK"));
+    EXPECT_TRUE(lifecycleContains(out, "rollback to v1 verified"));
+    EXPECT_TRUE(service.ring().verifyAll());
+
+    // The restored image is byte-identical to the original v1.
+    FirmwareRing reopened(dir, 4);
+    FirmwarePackage pkg;
+    uint32_t v = 0;
+    ASSERT_TRUE(reopened.loadActive(pkg, v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(reopened.imageChecksum(1),
+              reopened.imageChecksum(reopened.activeVersion()));
+}
+
+TEST_F(ServiceTest, HealthAndIncrementalEventsOverHttp)
+{
+    const std::string dir = freshDir("svc_http");
+    obs::HttpServer &server = obs::HttpServer::instance();
+    ASSERT_TRUE(server.start(0));
+    const int port = server.port();
+
+    // No service yet: /health reports idle.
+    EXPECT_NE(httpGet(port, "/health").find("\"state\": \"idle\""),
+              std::string::npos);
+
+    Service service(testServeConfig(dir), testBuildConfig(),
+                    shiftSchedule());
+    service.run(/*max_blocks=*/4);
+
+    const std::string health = httpGet(port, "/health");
+    EXPECT_NE(health.find("200 OK"), std::string::npos);
+    EXPECT_NE(health.find("\"state\": \"HEALTHY\""),
+              std::string::npos);
+    EXPECT_NE(health.find("\"active_version\": 1"),
+              std::string::npos);
+
+    // Incremental event polling: ?since past the tail returns an
+    // empty list, a full fetch does not.
+    const std::string all = httpGet(port, "/events");
+    EXPECT_NE(all.find("\"serve\""), std::string::npos);
+    const std::string none =
+        httpGet(port, "/events?since=999999999");
+    EXPECT_EQ(none.find("\"serve\""), std::string::npos);
+    EXPECT_NE(none.find("200 OK"), std::string::npos);
+
+    server.stop();
+}
+
+TEST_F(ServiceTest, DisabledLifecycleServesBootstrapForever)
+{
+    const std::string dir = freshDir("svc_disabled");
+    ServeConfig cfg = testServeConfig(dir);
+    cfg.lifecycle = false;
+    Service service(cfg, testBuildConfig(), shiftSchedule());
+    const ServeOutcome &out = service.run();
+
+    EXPECT_EQ(out.driftsDetected, 0u);
+    EXPECT_EQ(out.promotions, 0u);
+    EXPECT_EQ(out.rollbacks, 0u);
+    EXPECT_EQ(out.activeVersion, 1u);
+    EXPECT_GT(out.blocks, 0u);
+}

@@ -37,7 +37,28 @@ DEFAULT_IGNORE = [
     "http.",     # live-endpoint request counts
     "dist.",     # fleet wire/assignment accounting (varies with -N)
     "chaos.",    # chaos-soak schedule/recovery accounting
+    "serve.",    # adaptation-service lifecycle accounting
+    "drift.",    # drift-detector window statistics
 ]
+
+
+def load_report(path):
+    """Parse one run report, exiting 2 with a clear message instead of
+    a traceback when the file is missing, truncated (a crashed run's
+    partial dump), or not JSON at all."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"error: cannot read report {path}: {e.strerror or e}",
+              file=sys.stderr)
+    except json.JSONDecodeError as e:
+        print(f"error: report {path} is not valid JSON "
+              f"(truncated or corrupt dump?): {e}", file=sys.stderr)
+    except UnicodeDecodeError as e:
+        print(f"error: report {path} is not UTF-8 text: {e}",
+              file=sys.stderr)
+    sys.exit(2)
 
 
 def flatten(doc, ignore):
@@ -67,10 +88,8 @@ def main() -> int:
     args = ap.parse_args()
     ignore = DEFAULT_IGNORE + args.ignore
 
-    with open(args.a) as f:
-        a = dict(flatten(json.load(f), ignore))
-    with open(args.b) as f:
-        b = dict(flatten(json.load(f), ignore))
+    a = dict(flatten(load_report(args.a), ignore))
+    b = dict(flatten(load_report(args.b), ignore))
 
     mismatches = 0
     for key in sorted(set(a) | set(b)):

@@ -23,6 +23,11 @@
  *                             kill+restart, then assert artifacts
  *                             byte-identical to a clean
  *                             single-process run
+ *   serve [--schedule S]      run the online adaptation service:
+ *                             drift detection, shadow validation,
+ *                             and rollback-safe firmware hot-swap
+ *                             over a workload schedule (DESIGN.md
+ *                             §15); S = "app:blocks,app:blocks,..."
  *
  * <app> is either `spec:<name-substring>` (a SPEC2017 stand-in) or
  * `<category>:<seed>` with category in {hpc, cloud, ai, web, media,
@@ -56,6 +61,7 @@
 #include "dist/dist.hh"
 #include "obs/report.hh"
 #include "obs/stats.hh"
+#include "serve/service.hh"
 #include "sim/core.hh"
 #include "core/runner.hh"
 
@@ -88,7 +94,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: psca <counters|kernels|run|train|flash|"
-                 "fleet|chaos> ...\n"
+                 "fleet|chaos|serve> ...\n"
                  "  psca counters [--all]\n"
                  "  psca kernels\n"
                  "  psca run <app> [--len N] [--mode high|low]\n"
@@ -97,6 +103,9 @@ usage()
                  "  psca fleet [--workers N] [--out FW.bin]\n"
                  "             [--supervise] [--max-restarts K]\n"
                  "  psca chaos [--workers N] [--seed S]\n"
+                 "  psca serve [--schedule \"app:blocks,...\"] "
+                 "[--seed S]\n"
+                 "             [--dir D] [--len N] [--blocks N]\n"
                  "  <app> = spec:<name> | "
                  "{hpc,cloud,ai,web,media,games}:<seed>\n");
     return 2;
@@ -882,6 +891,79 @@ cmdChaos(int argc, char **argv)
     return pass ? 0 : 1;
 }
 
+/**
+ * psca serve — the online adaptation service (DESIGN.md §15). The
+ * schedule is a comma list of "app:blocks" entries (the app spec
+ * itself contains a colon, so the blocks count is split off at the
+ * LAST colon). The default schedule shifts workload category halfway
+ * through, which is exactly the distribution shift the drift
+ * detector exists to catch.
+ */
+int
+cmdServe(int argc, char **argv)
+{
+    std::string schedule_spec = "hpc:2:48,media:7:48";
+    uint64_t len = 240000;
+    uint64_t max_blocks = 0;
+    serve::ServeConfig cfg = serve::ServeConfig::fromEnv();
+    for (int i = 0; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--schedule"))
+            schedule_spec = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--seed"))
+            cfg.seed = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--dir"))
+            cfg.dir = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--len"))
+            len = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--blocks"))
+            max_blocks = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+
+    std::vector<serve::ServeSegment> schedule;
+    std::istringstream ss(schedule_spec);
+    std::string entry;
+    while (std::getline(ss, entry, ',')) {
+        const size_t colon = entry.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= entry.size())
+            return usage();
+        serve::ServeSegment seg;
+        seg.blocks =
+            std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+        if (seg.blocks == 0 ||
+            !resolveApp(entry.substr(0, colon), len, seg.workload))
+        {
+            std::fprintf(stderr, "bad schedule entry '%s'\n",
+                         entry.c_str());
+            return 2;
+        }
+        schedule.push_back(std::move(seg));
+    }
+    if (schedule.empty())
+        return usage();
+
+    BuildConfig build;
+    build.counterIds = defaultCounterIds();
+
+    obs::RunReportGuard report("serve");
+    std::printf("serve: %zu-segment schedule, fw ring at %s\n",
+                schedule.size(), cfg.dir.c_str());
+    serve::Service service(cfg, build, std::move(schedule));
+    const serve::ServeOutcome &out = service.run(max_blocks);
+    std::printf(
+        "serve: %llu blocks, %llu drift(s), %llu retrain(s) "
+        "(%llu failed), %llu promotion(s), %llu rejection(s), "
+        "%llu rollback(s); active fw v%u, PPW %+.2f%% vs high-only\n",
+        static_cast<unsigned long long>(out.blocks),
+        static_cast<unsigned long long>(out.driftsDetected),
+        static_cast<unsigned long long>(out.retrains),
+        static_cast<unsigned long long>(out.retrainFailures),
+        static_cast<unsigned long long>(out.promotions),
+        static_cast<unsigned long long>(out.rejections),
+        static_cast<unsigned long long>(out.rollbacks),
+        out.activeVersion, out.ppwGainPct);
+    return 0;
+}
+
 } // namespace
 
 static int
@@ -904,6 +986,8 @@ run(int argc, char **argv)
         return cmdFleet(argc - 2, argv + 2);
     if (cmd == "chaos")
         return cmdChaos(argc - 2, argv + 2);
+    if (cmd == "serve")
+        return cmdServe(argc - 2, argv + 2);
     return usage();
 }
 
